@@ -1,0 +1,10 @@
+# Convenience targets; everything is plain dune underneath.
+all:
+	dune build @all
+test:
+	dune runtest
+bench:
+	dune exec bench/main.exe
+clean:
+	dune clean
+.PHONY: all test bench clean

@@ -1,0 +1,319 @@
+(* polyflow_sim: tooling around the PolyFlow reproduction.
+
+   Subcommands:
+     run        simulate a workload under one or all spawn policies
+     list       list the available workloads
+     disasm     disassemble a workload binary
+     spawns     show classified spawn points and Figure-5 statistics
+     callgraph  print the static call graph
+     limits     Lam & Wilson-style ILP limits for a workload window
+     cfg        dump a procedure's CFG (optionally as graphviz)
+
+   Examples:
+     polyflow_sim run -w twolf -p postdoms
+     polyflow_sim run -w mcf --all-policies --window 30000
+     polyflow_sim spawns -w perlbmk
+     polyflow_sim cfg -w twolf --proc new_dbox_a --dot *)
+
+let policy_of_string s =
+  let cat = function
+    | "loop" -> Some Pf_core.Spawn_point.Loop_iter
+    | "loopFT" -> Some Pf_core.Spawn_point.Loop_ft
+    | "procFT" -> Some Pf_core.Spawn_point.Proc_ft
+    | "hammock" -> Some Pf_core.Spawn_point.Hammock
+    | "other" -> Some Pf_core.Spawn_point.Other
+    | _ -> None
+  in
+  match s with
+  | "superscalar" | "baseline" -> Ok Pf_core.Policy.No_spawn
+  | "postdoms" -> Ok Pf_core.Policy.Postdoms
+  | "rec_pred" -> Ok Pf_core.Policy.Rec_pred
+  | "dmt" -> Ok Pf_core.Policy.Dmt
+  | _ when String.length s > 9 && String.sub s 0 9 = "postdoms-" -> (
+      match cat (String.sub s 9 (String.length s - 9)) with
+      | Some c -> Ok (Pf_core.Policy.Postdoms_minus c)
+      | None -> Error (`Msg (Printf.sprintf "unknown category in %S" s)))
+  | _ -> (
+      let parts = String.split_on_char '+' s in
+      let cats = List.map cat parts in
+      if List.for_all Option.is_some cats then
+        Ok (Pf_core.Policy.Categories (List.filter_map Fun.id cats))
+      else
+        Error
+          (`Msg
+             (Printf.sprintf
+                "unknown policy %S (try: superscalar, loop, loopFT, procFT, \
+                 hammock, other, postdoms, rec_pred, dmt, postdoms-<cat>, or \
+                 combinations like loop+loopFT)"
+                s)))
+
+let with_workload name f =
+  match Pf_workloads.Suite.find name with
+  | Some w -> f w
+  | None ->
+      `Error (false, Printf.sprintf "unknown workload %S (try `list')" name)
+
+let prepare ?window (w : Pf_workloads.Workload.t) =
+  let window =
+    match window with Some n -> n | None -> w.Pf_workloads.Workload.window
+  in
+  Pf_uarch.Run.prepare w.Pf_workloads.Workload.program
+    ~setup:w.Pf_workloads.Workload.setup
+    ~fast_forward:w.Pf_workloads.Workload.fast_forward ~window
+
+(* ---- run ---- *)
+
+let report ~verbose name policy base m =
+  let open Pf_uarch in
+  Format.printf "%-10s %-22s IPC %5.3f" name (Pf_core.Policy.name policy)
+    (Metrics.ipc m);
+  (match base with
+  | Some b when b != m ->
+      Format.printf "  speedup %+6.1f%%" (Metrics.speedup_pct ~baseline:b m)
+  | _ -> ());
+  Format.printf "@.";
+  if verbose then Format.printf "%a@." Metrics.pp m
+
+let run_cmd workload_name policy_str all_policies window verbose =
+  with_workload workload_name (fun w ->
+      let prep = prepare ?window w in
+      Format.printf
+        "workload %s: %d instructions in window, %d static spawn points@."
+        w.Pf_workloads.Workload.name
+        (Pf_trace.Tracer.length prep.Pf_uarch.Run.trace)
+        (List.length prep.Pf_uarch.Run.all_spawns);
+      let base = Pf_uarch.Run.baseline prep in
+      report ~verbose w.Pf_workloads.Workload.name Pf_core.Policy.No_spawn None
+        base;
+      let run_one policy =
+        let m = Pf_uarch.Run.simulate prep ~policy in
+        report ~verbose w.Pf_workloads.Workload.name policy (Some base) m
+      in
+      if all_policies then begin
+        let policies =
+          Pf_core.Policy.figure9_policies
+          @ [ Pf_core.Policy.Rec_pred; Pf_core.Policy.Dmt ]
+          @ List.filter
+              (fun p -> p <> Pf_core.Policy.Postdoms)
+              Pf_core.Policy.figure10_policies
+          @ Pf_core.Policy.figure11_policies
+        in
+        List.iter run_one policies;
+        `Ok ()
+      end
+      else
+        match policy_of_string policy_str with
+        | Ok Pf_core.Policy.No_spawn -> `Ok () (* already printed *)
+        | Ok policy ->
+            run_one policy;
+            `Ok ()
+        | Error (`Msg m) -> `Error (false, m))
+
+(* ---- list ---- *)
+
+let list_cmd () =
+  Format.printf "@[<v>Workloads:@,";
+  List.iter
+    (fun w ->
+      Format.printf "  %-10s %s@," w.Pf_workloads.Workload.name
+        w.Pf_workloads.Workload.description)
+    (Pf_workloads.Suite.all ());
+  Format.printf "@]%!";
+  `Ok ()
+
+(* ---- disasm ---- *)
+
+let disasm_cmd workload_name =
+  with_workload workload_name (fun w ->
+      Format.printf "%a@." Pf_isa.Program.pp w.Pf_workloads.Workload.program;
+      `Ok ())
+
+(* ---- spawns ---- *)
+
+let spawns_cmd workload_name =
+  with_workload workload_name (fun w ->
+      let program = w.Pf_workloads.Workload.program in
+      let spawns = Pf_core.Classify.spawn_points program in
+      List.iter
+        (fun s ->
+          Format.printf "  %-30s (at: %s)@."
+            (Format.asprintf "%a" Pf_core.Spawn_point.pp s)
+            (Pf_isa.Instr.to_string
+               (Pf_isa.Program.fetch program s.Pf_core.Spawn_point.at_pc)))
+        spawns;
+      Format.printf "@.%a@."
+        Pf_core.Static_stats.pp
+        (Pf_core.Static_stats.of_spawns spawns);
+      `Ok ())
+
+(* ---- callgraph ---- *)
+
+let callgraph_cmd workload_name =
+  with_workload workload_name (fun w ->
+      Format.printf "%a@." Pf_isa.Call_graph.pp
+        (Pf_isa.Call_graph.build w.Pf_workloads.Workload.program);
+      `Ok ())
+
+(* ---- limits ---- *)
+
+let limits_cmd workload_name window =
+  with_workload workload_name (fun w ->
+      let prep = prepare ?window w in
+      let tr = prep.Pf_uarch.Run.trace in
+      let sf = Pf_trace.Limits.single_flow_ipc tr in
+      let df = Pf_trace.Limits.dataflow_ipc tr in
+      Format.printf
+        "%s: single-flow limit %.2f IPC, control-independence oracle %.2f IPC \
+         (%.1fx)@."
+        w.Pf_workloads.Workload.name sf df (df /. sf);
+      `Ok ())
+
+(* ---- cfg ---- *)
+
+let cfg_cmd workload_name proc_name dot =
+  with_workload workload_name (fun w ->
+      let program = w.Pf_workloads.Workload.program in
+      let pcfgs = Pf_isa.Cfg_build.build_all program in
+      let chosen =
+        match proc_name with
+        | Some n ->
+            List.filter
+              (fun p -> p.Pf_isa.Cfg_build.proc.Pf_isa.Program.name = n)
+              pcfgs
+        | None -> pcfgs
+      in
+      if chosen = [] then
+        `Error (false, Printf.sprintf "no such procedure %S" (Option.value proc_name ~default:""))
+      else begin
+        List.iter
+          (fun p ->
+            let label b =
+              let info = p.Pf_isa.Cfg_build.blocks.(b) in
+              if info.Pf_isa.Cfg_build.first_pc < 0 then "exit"
+              else Printf.sprintf "%x..%x" info.Pf_isa.Cfg_build.first_pc
+                     info.Pf_isa.Cfg_build.last_pc
+            in
+            Format.printf "== %s ==@." p.Pf_isa.Cfg_build.proc.Pf_isa.Program.name;
+            if dot then Format.printf "%a@." (Pf_cfg.Dot.cfg ~label) p.Pf_isa.Cfg_build.cfg
+            else Format.printf "%a@." Pf_cfg.Cfg.pp p.Pf_isa.Cfg_build.cfg)
+          chosen;
+        `Ok ()
+      end)
+
+(* ---- parse: reassemble a textual listing ---- *)
+
+let parse_cmd path =
+  let text =
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  match Pf_isa.Parse.program_of_string text with
+  | Ok p ->
+      Format.printf
+        "parsed %d instructions, %d procedures; entry %04x@."
+        (Pf_isa.Program.length p)
+        (List.length p.Pf_isa.Program.procs)
+        p.Pf_isa.Program.entry_pc;
+      let spawns = Pf_core.Classify.spawn_points p in
+      Format.printf "%d spawn points: %a@." (List.length spawns)
+        Pf_core.Static_stats.pp
+        (Pf_core.Static_stats.of_spawns spawns);
+      `Ok ()
+  | Error e -> `Error (false, e)
+
+(* ---- cmdliner wiring ---- *)
+
+open Cmdliner
+
+let workload_t =
+  Arg.(
+    value
+    & opt string "twolf"
+    & info [ "w"; "workload" ] ~docv:"NAME" ~doc:"Workload to operate on.")
+
+let window_t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "window" ] ~docv:"N" ~doc:"Override the simulation window size.")
+
+let run_c =
+  let policy_t =
+    Arg.(
+      value
+      & opt string "postdoms"
+      & info [ "p"; "policy" ] ~docv:"POLICY"
+          ~doc:
+            "Spawn policy: superscalar, loop, loopFT, procFT, hammock, other, \
+             postdoms, rec_pred, dmt, postdoms-<category>, or a + combination.")
+  in
+  let all_policies_t =
+    Arg.(
+      value & flag
+      & info [ "all-policies" ] ~doc:"Run every policy of Figures 9-12.")
+  in
+  let verbose_t =
+    Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print full metrics.")
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Simulate a workload under spawn policies")
+    Term.(
+      ret (const run_cmd $ workload_t $ policy_t $ all_policies_t $ window_t
+           $ verbose_t))
+
+let list_c =
+  Cmd.v (Cmd.info "list" ~doc:"List workloads") Term.(ret (const list_cmd $ const ()))
+
+let disasm_c =
+  Cmd.v
+    (Cmd.info "disasm" ~doc:"Disassemble a workload binary")
+    Term.(ret (const disasm_cmd $ workload_t))
+
+let spawns_c =
+  Cmd.v
+    (Cmd.info "spawns" ~doc:"Show classified spawn points (Figure 5 data)")
+    Term.(ret (const spawns_cmd $ workload_t))
+
+let callgraph_c =
+  Cmd.v
+    (Cmd.info "callgraph" ~doc:"Print the static call graph")
+    Term.(ret (const callgraph_cmd $ workload_t))
+
+let limits_c =
+  Cmd.v
+    (Cmd.info "limits" ~doc:"Lam & Wilson-style ILP limits")
+    Term.(ret (const limits_cmd $ workload_t $ window_t))
+
+let cfg_c =
+  let proc_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "proc" ] ~docv:"NAME" ~doc:"Restrict to one procedure.")
+  in
+  let dot_t = Arg.(value & flag & info [ "dot" ] ~doc:"Emit graphviz.") in
+  Cmd.v
+    (Cmd.info "cfg" ~doc:"Dump per-procedure control flow graphs")
+    Term.(ret (const cfg_cmd $ workload_t $ proc_t $ dot_t))
+
+let parse_c =
+  let file_t =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Assembly listing (disasm output format).")
+  in
+  Cmd.v
+    (Cmd.info "parse" ~doc:"Parse an assembly listing and analyse it")
+    Term.(ret (const parse_cmd $ file_t))
+
+let main_cmd =
+  let doc = "PolyFlow speculative-parallelization simulator and tooling" in
+  Cmd.group
+    ~default:Term.(ret (const list_cmd $ const ()))
+    (Cmd.info "polyflow_sim" ~doc)
+    [ run_c; list_c; disasm_c; spawns_c; callgraph_c; limits_c; cfg_c; parse_c ]
+
+let () = exit (Cmd.eval main_cmd)

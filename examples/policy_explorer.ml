@@ -1,0 +1,53 @@
+(* Policy explorer: run one workload (argv[1], default "mcf") under every
+   spawn policy of the paper's evaluation and print a compact comparison,
+   including the dynamic behaviour behind the speedups.
+
+   Run with: dune exec examples/policy_explorer.exe -- [workload] *)
+
+let policies =
+  Pf_core.Policy.figure9_policies
+  @ List.filter
+      (fun p -> p <> Pf_core.Policy.Postdoms)
+      Pf_core.Policy.figure10_policies
+  @ Pf_core.Policy.figure11_policies
+  @ [ Pf_core.Policy.Rec_pred; Pf_core.Policy.Dmt ]
+
+let () =
+  let name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "mcf" in
+  let wl =
+    match Pf_workloads.Suite.find name with
+    | Some wl -> wl
+    | None ->
+        Printf.eprintf "unknown workload %s; available: %s\n" name
+          (String.concat ", " Pf_workloads.Suite.names);
+        exit 1
+  in
+  Printf.printf "workload: %s — %s\n\n" wl.Pf_workloads.Workload.name
+    wl.Pf_workloads.Workload.description;
+  let prep =
+    Pf_uarch.Run.prepare wl.Pf_workloads.Workload.program
+      ~setup:wl.Pf_workloads.Workload.setup
+      ~fast_forward:wl.Pf_workloads.Workload.fast_forward
+      ~window:wl.Pf_workloads.Workload.window
+  in
+  let base = Pf_uarch.Run.baseline prep in
+  Printf.printf
+    "superscalar baseline: IPC %.3f over %d instructions (%d branch + %d \
+     indirect mispredicts)\n\n"
+    (Pf_uarch.Metrics.ipc base) base.Pf_uarch.Metrics.instructions
+    base.Pf_uarch.Metrics.branch_mispredicts
+    base.Pf_uarch.Metrics.indirect_mispredicts;
+  Printf.printf "%-22s %8s %9s %7s %7s %9s %9s\n" "policy" "IPC" "speedup"
+    "tasks" "squash" "diverted" "mispred";
+  print_endline (String.make 78 '-');
+  List.iter
+    (fun policy ->
+      let m = Pf_uarch.Run.simulate prep ~policy in
+      Printf.printf "%-22s %8.3f %+8.1f%% %7d %7d %9d %9d\n"
+        (Pf_core.Policy.name policy) (Pf_uarch.Metrics.ipc m)
+        (Pf_uarch.Metrics.speedup_pct ~baseline:base m)
+        m.Pf_uarch.Metrics.tasks_spawned m.Pf_uarch.Metrics.squashes
+        m.Pf_uarch.Metrics.diverted
+        (m.Pf_uarch.Metrics.branch_mispredicts
+        + m.Pf_uarch.Metrics.indirect_mispredicts))
+    policies

@@ -1,0 +1,57 @@
+(* The paper's Section 2.3 walkthrough: the new_dbox_a loop nest from
+   twolf (Figure 6), its spawn points, and how control-equivalent
+   spawning recovers the loop spawns through hammock and loop
+   fall-through spawns.
+
+   Run with: dune exec examples/twolf_kernel.exe *)
+
+let () =
+  let wl = Option.get (Pf_workloads.Suite.find "twolf") in
+  let program = wl.Pf_workloads.Workload.program in
+
+  print_endline "== twolf: the new_dbox_a kernel (Figure 6) ==\n";
+  (match Pf_isa.Program.find_proc program "new_dbox_a" with
+  | Some proc ->
+      Printf.printf "new_dbox_a occupies PCs %04x..%04x (%d instructions)\n"
+        proc.Pf_isa.Program.entry proc.Pf_isa.Program.last
+        (((proc.Pf_isa.Program.last - proc.Pf_isa.Program.entry) / 4) + 1)
+  | None -> failwith "new_dbox_a not found");
+
+  print_endline "\n== Static spawn points of the whole binary ==";
+  let spawns = Pf_core.Classify.spawn_points program in
+  List.iter
+    (fun s ->
+      let instr = Pf_isa.Program.fetch program s.Pf_core.Spawn_point.at_pc in
+      Format.printf "  %-28s  (at: %s)@."
+        (Format.asprintf "%a" Pf_core.Spawn_point.pp s)
+        (Pf_isa.Instr.to_string instr))
+    spawns;
+  let stats = Pf_core.Static_stats.of_spawns spawns in
+  Format.printf "\n  %a@." Pf_core.Static_stats.pp stats;
+
+  print_endline
+    "\nAs in Section 2.3: the loop-iteration spawns (header -> latch) are \
+     recovered by\ncontrol-equivalent spawning through the hammock spawns \
+     inside the inner loop and the\nloop fall-through spawn at the inner \
+     latch, which effectively starts the next outer\niteration.";
+
+  (* Measure the claim: hammock+loopFT approximates or beats loop spawns. *)
+  print_endline "\n== Measured speedups over the superscalar ==";
+  let prep =
+    Pf_uarch.Run.prepare program ~setup:wl.Pf_workloads.Workload.setup
+      ~fast_forward:wl.Pf_workloads.Workload.fast_forward
+      ~window:wl.Pf_workloads.Workload.window
+  in
+  let base = Pf_uarch.Run.baseline prep in
+  let report name policy =
+    let m = Pf_uarch.Run.simulate prep ~policy in
+    Printf.printf "  %-28s %+6.1f%%  (%d spawns)\n" name
+      (Pf_uarch.Metrics.speedup_pct ~baseline:base m)
+      (Pf_uarch.Metrics.total_spawns m)
+  in
+  report "loop (iteration spawns)"
+    (Pf_core.Policy.Categories [ Pf_core.Spawn_point.Loop_iter ]);
+  report "hammock + loopFT"
+    (Pf_core.Policy.Categories
+       [ Pf_core.Spawn_point.Hammock; Pf_core.Spawn_point.Loop_ft ]);
+  report "postdoms (all categories)" Pf_core.Policy.Postdoms

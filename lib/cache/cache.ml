@@ -1,0 +1,82 @@
+type t = {
+  tags : int array;       (* nsets * assoc; -1 = invalid *)
+  lru : int array;        (* lower = older; per entry *)
+  nsets : int;
+  assoc : int;
+  line_shift : int;
+  mutable clock : int;
+  mutable accesses : int;
+  mutable misses : int;
+}
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let log2 n =
+  let rec go k v = if v = 1 then k else go (k + 1) (v / 2) in
+  go 0 n
+
+let create ~size_bytes ~assoc ~line_bytes () =
+  if not (is_pow2 line_bytes) then invalid_arg "Cache: line size not a power of 2";
+  if size_bytes mod (assoc * line_bytes) <> 0 then
+    invalid_arg "Cache: size not divisible by assoc * line";
+  let nsets = size_bytes / (assoc * line_bytes) in
+  if not (is_pow2 nsets) then invalid_arg "Cache: set count not a power of 2";
+  { tags = Array.make (nsets * assoc) (-1);
+    lru = Array.make (nsets * assoc) 0;
+    nsets;
+    assoc;
+    line_shift = log2 line_bytes;
+    clock = 0;
+    accesses = 0;
+    misses = 0 }
+
+let line_bytes t = 1 lsl t.line_shift
+
+let set_and_tag t addr =
+  let line = addr lsr t.line_shift in
+  (line land (t.nsets - 1), line)
+
+let find_way t set tag =
+  let base = set * t.assoc in
+  let rec go w =
+    if w >= t.assoc then None
+    else if t.tags.(base + w) = tag then Some w
+    else go (w + 1)
+  in
+  go 0
+
+let probe t addr =
+  let set, tag = set_and_tag t addr in
+  find_way t set tag <> None
+
+let access t addr =
+  let set, tag = set_and_tag t addr in
+  let base = set * t.assoc in
+  t.accesses <- t.accesses + 1;
+  t.clock <- t.clock + 1;
+  match find_way t set tag with
+  | Some w ->
+      t.lru.(base + w) <- t.clock;
+      true
+  | None ->
+      t.misses <- t.misses + 1;
+      (* evict the LRU way (or an invalid one) *)
+      let victim = ref 0 in
+      for w = 1 to t.assoc - 1 do
+        if t.lru.(base + w) < t.lru.(base + !victim) then victim := w
+      done;
+      let inv = find_way t set (-1) in
+      let w = match inv with Some w -> w | None -> !victim in
+      t.tags.(base + w) <- tag;
+      t.lru.(base + w) <- t.clock;
+      false
+
+let accesses t = t.accesses
+let misses t = t.misses
+
+let reset t =
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
+  Array.fill t.lru 0 (Array.length t.lru) 0;
+  t.clock <- 0;
+  t.accesses <- 0;
+  t.misses <- 0

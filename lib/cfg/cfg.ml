@@ -1,0 +1,120 @@
+type t = {
+  nblocks : int;
+  entry : int;
+  exit_block : int;
+  succs : int list array; (* stored reversed during building; see note *)
+  preds : int list array;
+}
+
+(* Successor lists are kept in insertion order. We append by storing
+   reversed lists internally? Simpler: append with [@ [b]] is O(n) but
+   out-degree is tiny (<= a handful except indirect jumps), so it is fine. *)
+
+let check_range g b name =
+  if b < 0 || b >= g.nblocks then
+    invalid_arg (Printf.sprintf "Cfg: %s block %d out of range [0,%d)" name b g.nblocks)
+
+let create ~nblocks ~entry ~exit =
+  if nblocks <= 0 then invalid_arg "Cfg.create: nblocks must be positive";
+  let g =
+    { nblocks; entry; exit_block = exit;
+      succs = Array.make nblocks [];
+      preds = Array.make nblocks [] }
+  in
+  check_range g entry "entry";
+  check_range g exit "exit";
+  g
+
+let add_edge g a b =
+  check_range g a "source";
+  check_range g b "target";
+  if not (List.mem b g.succs.(a)) then begin
+    g.succs.(a) <- g.succs.(a) @ [ b ];
+    g.preds.(b) <- g.preds.(b) @ [ a ]
+  end
+
+let of_edges ~nblocks ~entry ~exit edges =
+  let g = create ~nblocks ~entry ~exit in
+  List.iter (fun (a, b) -> add_edge g a b) edges;
+  g
+
+let nblocks g = g.nblocks
+let entry g = g.entry
+let exit_block g = g.exit_block
+let succs g b = check_range g b "block"; g.succs.(b)
+let preds g b = check_range g b "block"; g.preds.(b)
+
+let reverse g =
+  { nblocks = g.nblocks;
+    entry = g.exit_block;
+    exit_block = g.entry;
+    succs = Array.map (fun l -> l) g.preds;
+    preds = Array.map (fun l -> l) g.succs }
+
+let reachable g =
+  let seen = Array.make g.nblocks false in
+  let rec go b =
+    if not seen.(b) then begin
+      seen.(b) <- true;
+      List.iter go g.succs.(b)
+    end
+  in
+  go g.entry;
+  seen
+
+let rpo g =
+  let seen = Array.make g.nblocks false in
+  let order = ref [] in
+  let rec go b =
+    if not seen.(b) then begin
+      seen.(b) <- true;
+      List.iter go g.succs.(b);
+      order := b :: !order
+    end
+  in
+  go g.entry;
+  Array.of_list !order
+
+let region g a b =
+  let seen = Array.make g.nblocks false in
+  let rec go x =
+    if x <> b && not seen.(x) then begin
+      seen.(x) <- true;
+      List.iter go g.succs.(x)
+    end
+  in
+  go a;
+  let acc = ref [] in
+  for x = g.nblocks - 1 downto 0 do
+    if seen.(x) then acc := x :: !acc
+  done;
+  !acc
+
+let validate g =
+  if g.succs.(g.exit_block) <> [] then Error "exit block has successors"
+  else begin
+    (* every block reachable from entry must reach exit *)
+    let live = reachable g in
+    let rg = reverse g in
+    let reaches_exit = reachable rg in
+    let bad = ref None in
+    for b = 0 to g.nblocks - 1 do
+      if live.(b) && not reaches_exit.(b) && !bad = None then bad := Some b
+    done;
+    match !bad with
+    | Some b -> Error (Printf.sprintf "block %d cannot reach the exit" b)
+    | None -> Ok ()
+  end
+
+let pp ppf g =
+  Format.fprintf ppf "@[<v>cfg: %d blocks, entry %d, exit %d@," g.nblocks g.entry
+    g.exit_block;
+  for b = 0 to g.nblocks - 1 do
+    if g.succs.(b) <> [] then
+      Format.fprintf ppf "  %d -> %a@," b
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+           Format.pp_print_int)
+        g.succs.(b)
+  done;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,50 @@
+(** Control flow graphs over integer-identified basic blocks.
+
+    A graph has a fixed number of blocks, a distinguished entry and exit,
+    and directed edges. Blocks are identified by integers in
+    [0 .. nblocks - 1]. The graph is mutable during construction
+    ({!add_edge}) and treated as immutable afterwards. *)
+
+type t
+
+(** [create ~nblocks ~entry ~exit] makes an edgeless graph.
+    @raise Invalid_argument if [entry] or [exit] is out of range. *)
+val create : nblocks:int -> entry:int -> exit:int -> t
+
+(** [of_edges ~nblocks ~entry ~exit edges] builds a graph in one call. *)
+val of_edges : nblocks:int -> entry:int -> exit:int -> (int * int) list -> t
+
+(** [add_edge g a b] inserts edge [a -> b]; duplicate edges are ignored. *)
+val add_edge : t -> int -> int -> unit
+
+val nblocks : t -> int
+val entry : t -> int
+val exit_block : t -> int
+
+(** Successors in insertion order (branch fall-through first by convention
+    of the builders in [pf_isa.Cfg_build]). *)
+val succs : t -> int -> int list
+
+val preds : t -> int -> int list
+
+(** [reverse g] swaps edge directions and interchanges entry and exit. *)
+val reverse : t -> t
+
+(** [reachable g] marks blocks reachable from the entry. *)
+val reachable : t -> bool array
+
+(** [rpo g] lists blocks reachable from entry in reverse postorder
+    (entry first). *)
+val rpo : t -> int array
+
+(** [region g ~pdom_check a b] returns the blocks on paths from [a] that
+    have not yet reached [b] — i.e. blocks reachable from [a] without
+    passing through [b], excluding [b] itself but including [a]. *)
+val region : t -> int -> int -> int list
+
+(** Structural sanity: entry has no predecessors required? No — just checks
+    ids in range, exit has no successors, and exit is reachable from every
+    reachable block (needed for postdominance to be defined). *)
+val validate : t -> (unit, string) result
+
+val pp : Format.formatter -> t -> unit

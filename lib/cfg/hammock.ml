@@ -1,0 +1,36 @@
+let interior g ~b ~j =
+  let blocks =
+    List.concat_map (fun s -> if s = j then [] else Cfg.region g s j) (Cfg.succs g b)
+  in
+  List.sort_uniq compare (List.filter (fun x -> x <> b) blocks)
+
+let same_loop loops a b =
+  match (Loops.innermost loops a, Loops.innermost loops b) with
+  | None, None -> true
+  | Some la, Some lb -> la.Loops.header = lb.Loops.header
+  | _ -> false
+
+let is_simple g pdom loops b =
+  match Cfg.succs g b with
+  | [ s1; s2 ] when s1 <> s2 -> (
+      match Dominance.parent pdom b with
+      | None -> false
+      | Some j ->
+          (* a back edge out of b means b is a loop branch, not a hammock *)
+          let dom_back s =
+            match Loops.innermost loops s with
+            | Some l -> l.Loops.header = s && List.mem b l.Loops.latches
+            | None -> false
+          in
+          if dom_back s1 || dom_back s2 then false
+          else
+            let inner = interior g ~b ~j in
+            same_loop loops b j
+            && List.for_all
+                 (fun x ->
+                   same_loop loops b x
+                   && (match Loops.headed_by loops x with
+                      | Some _ -> false (* interior loop header: not simple *)
+                      | None -> true))
+                 inner)
+  | _ -> false

@@ -1,0 +1,16 @@
+(** Simple-hammock recognition.
+
+    A two-way branch block [b] with immediate postdominator [j] forms a
+    simple hammock when the region between [b] and [j] is acyclic and stays
+    at the same loop-nesting level — the shape of an if-then or
+    if-then-else statement (Section 2.2 of the paper). *)
+
+(** Blocks strictly between [b] and its ipostdom [j]: reachable from [b]'s
+    successors without passing through [j]. *)
+val interior : Cfg.t -> b:int -> j:int -> int list
+
+(** [is_simple g pdom loops b] — [b] must end in a two-way branch (have
+    exactly two successors); true when its ipostdom exists, the interior
+    region contains no loop header and no block outside [b]'s innermost
+    loop, and neither successor is a back edge. *)
+val is_simple : Cfg.t -> Dominance.t -> Loops.t -> int -> bool

@@ -1,0 +1,15 @@
+type t = (int, Spawn_point.t list) Hashtbl.t
+
+let install t (s : Spawn_point.t) =
+  let existing = try Hashtbl.find t s.Spawn_point.at_pc with Not_found -> [] in
+  if not (List.mem s existing) then
+    Hashtbl.replace t s.Spawn_point.at_pc (existing @ [ s ])
+
+let of_spawns spawns =
+  let t = Hashtbl.create 256 in
+  List.iter (install t) spawns;
+  t
+
+let find t ~pc = try Hashtbl.find t pc with Not_found -> []
+
+let size t = Hashtbl.fold (fun _ l acc -> acc + List.length l) t 0

@@ -1,0 +1,58 @@
+type t =
+  | No_spawn
+  | Categories of Spawn_point.category list
+  | Postdoms
+  | Postdoms_minus of Spawn_point.category
+  | Rec_pred
+  | Dmt
+
+let select policy spawns =
+  let keep categories =
+    List.filter (fun s -> List.mem s.Spawn_point.category categories) spawns
+  in
+  match policy with
+  | No_spawn -> []
+  | Categories cs -> keep cs
+  | Postdoms -> keep Spawn_point.postdom_categories
+  | Postdoms_minus c ->
+      keep (List.filter (fun c' -> c' <> c) Spawn_point.postdom_categories)
+  | Rec_pred | Dmt -> []
+
+let uses_reconvergence_predictor = function
+  | Rec_pred -> true
+  | No_spawn | Categories _ | Postdoms | Postdoms_minus _ | Dmt -> false
+
+let uses_dmt_heuristics = function
+  | Dmt -> true
+  | No_spawn | Categories _ | Postdoms | Postdoms_minus _ | Rec_pred -> false
+
+let name = function
+  | No_spawn -> "superscalar"
+  | Categories cs ->
+      String.concat "+" (List.map Spawn_point.category_name cs)
+  | Postdoms -> "postdoms"
+  | Postdoms_minus c -> "postdoms-" ^ Spawn_point.category_name c
+  | Rec_pred -> "rec_pred"
+  | Dmt -> "dmt"
+
+let figure9_policies =
+  [ Categories [ Spawn_point.Loop_iter ];
+    Categories [ Spawn_point.Loop_ft ];
+    Categories [ Spawn_point.Proc_ft ];
+    Categories [ Spawn_point.Hammock ];
+    Categories [ Spawn_point.Other ];
+    Postdoms ]
+
+let figure10_policies =
+  [ Categories [ Spawn_point.Loop_iter; Spawn_point.Loop_ft ];
+    Categories [ Spawn_point.Loop_ft; Spawn_point.Proc_ft ];
+    Categories [ Spawn_point.Loop_iter; Spawn_point.Proc_ft; Spawn_point.Loop_ft ];
+    Postdoms ]
+
+let figure11_policies =
+  [ Postdoms_minus Spawn_point.Loop_ft;
+    Postdoms_minus Spawn_point.Proc_ft;
+    Postdoms_minus Spawn_point.Hammock;
+    Postdoms_minus Spawn_point.Other ]
+
+let figure12_policies = [ Rec_pred; Postdoms ]

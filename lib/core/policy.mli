@@ -1,0 +1,46 @@
+(** Task-selection (spawn) policies — the subject of the paper's
+    evaluation (Section 4).
+
+    A policy selects a subset of the potential spawn points:
+
+    - individual heuristics ([Categories [c]]) — Figure 9;
+    - combinations of heuristics — Figure 10;
+    - [Postdoms]: every immediate-postdominator spawn (loop fall-through,
+      procedure fall-through, hammock and other) — the paper's
+      control-equivalent spawning;
+    - [Postdoms_minus c]: the ablation of Figure 11;
+    - [Rec_pred]: spawn points found at run time by the reconvergence
+      predictor plus procedure fall-throughs at calls — Figure 12. The
+      static selection is empty; the engine queries the predictor.
+    - [Dmt]: the Dynamic Multi-Threading heuristics of Akkary and
+      Driscoll discussed in the paper's related work (Section 5): spawn
+      at the static address following each backward branch (an
+      approximate loop fall-through) and at the return address of each
+      call — no compiler information, no reconvergence prediction. *)
+
+type t =
+  | No_spawn
+  | Categories of Spawn_point.category list
+  | Postdoms
+  | Postdoms_minus of Spawn_point.category
+  | Rec_pred
+  | Dmt
+
+(** Static spawn points enabled by the policy. *)
+val select : t -> Spawn_point.t list -> Spawn_point.t list
+
+(** Does the policy use the dynamic reconvergence predictor? *)
+val uses_reconvergence_predictor : t -> bool
+
+(** Does the policy use the DMT fall-through heuristics? *)
+val uses_dmt_heuristics : t -> bool
+
+(** Short display name, e.g. ["postdoms"], ["loop+loopFT"]. *)
+val name : t -> string
+
+(** The policy line-ups of each figure. *)
+val figure9_policies : t list
+
+val figure10_policies : t list
+val figure11_policies : t list
+val figure12_policies : t list

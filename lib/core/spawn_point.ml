@@ -1,0 +1,22 @@
+type category = Loop_iter | Loop_ft | Proc_ft | Hammock | Other
+
+type t = {
+  at_pc : int;
+  target_pc : int;
+  category : category;
+}
+
+let category_name = function
+  | Loop_iter -> "loop"
+  | Loop_ft -> "loopFT"
+  | Proc_ft -> "procFT"
+  | Hammock -> "hammock"
+  | Other -> "other"
+
+let postdom_categories = [ Loop_ft; Proc_ft; Hammock; Other ]
+
+let compare = Stdlib.compare
+
+let pp ppf s =
+  Format.fprintf ppf "%04x -> %04x (%s)" s.at_pc s.target_pc
+    (category_name s.category)

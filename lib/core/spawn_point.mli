@@ -1,0 +1,29 @@
+(** Spawn points: places where the Task Spawn Unit may start a new task.
+
+    A spawn point fires when the fetch unit reaches [at_pc]; the new task
+    begins at the next dynamic occurrence of [target_pc]. The category
+    records which program structure produced it and drives every policy
+    of Section 4. *)
+
+type category =
+  | Loop_iter  (** loop-iteration spawn: loop entry -> latch block
+                   (the "loop" heuristic, Section 2.3) *)
+  | Loop_ft    (** ipostdom of a loop branch (incl. breaks/exits) *)
+  | Proc_ft    (** ipostdom of a call: the return point *)
+  | Hammock    (** join of a simple if-then / if-then-else *)
+  | Other      (** remaining ipostdoms, incl. indirect jumps *)
+
+type t = {
+  at_pc : int;
+  target_pc : int;
+  category : category;
+}
+
+val category_name : category -> string
+
+(** The four immediate-postdominator categories of Figure 5 (everything
+    except [Loop_iter]). *)
+val postdom_categories : category list
+
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,32 @@
+type t = {
+  loop_ft : int;
+  proc_ft : int;
+  hammock : int;
+  other : int;
+}
+
+let of_spawns spawns =
+  List.fold_left
+    (fun acc (s : Spawn_point.t) ->
+      match s.Spawn_point.category with
+      | Spawn_point.Loop_ft -> { acc with loop_ft = acc.loop_ft + 1 }
+      | Spawn_point.Proc_ft -> { acc with proc_ft = acc.proc_ft + 1 }
+      | Spawn_point.Hammock -> { acc with hammock = acc.hammock + 1 }
+      | Spawn_point.Other -> { acc with other = acc.other + 1 }
+      | Spawn_point.Loop_iter -> acc)
+    { loop_ft = 0; proc_ft = 0; hammock = 0; other = 0 }
+    spawns
+
+let total t = t.loop_ft + t.proc_ft + t.hammock + t.other
+
+let percentages t =
+  let n = total t in
+  if n = 0 then (0., 0., 0., 0.)
+  else
+    let pct x = 100. *. float_of_int x /. float_of_int n in
+    (pct t.loop_ft, pct t.proc_ft, pct t.hammock, pct t.other)
+
+let pp ppf t =
+  let lf, pf, hm, ot = percentages t in
+  Format.fprintf ppf "total %d: loopFT %.1f%% procFT %.1f%% hammock %.1f%% other %.1f%%"
+    (total t) lf pf hm ot

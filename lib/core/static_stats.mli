@@ -1,0 +1,21 @@
+(** Static distribution of control-equivalent task types — the data
+    behind Figure 5. Counts only the four immediate-postdominator
+    categories (loop-iteration spawns belong to the "loop" heuristic,
+    not to postdominator classification). *)
+
+type t = {
+  loop_ft : int;
+  proc_ft : int;
+  hammock : int;
+  other : int;
+}
+
+val of_spawns : Spawn_point.t list -> t
+
+val total : t -> int
+
+(** Percentages in Figure 5 order: LoopFT, ProcFT, Hammocks, Other.
+    All zeros when the total is zero. *)
+val percentages : t -> float * float * float * float
+
+val pp : Format.formatter -> t -> unit

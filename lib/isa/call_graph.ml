@@ -1,0 +1,84 @@
+type t = {
+  edges : (string, string list) Hashtbl.t; (* caller -> callees, deduped *)
+  redges : (string, string list) Hashtbl.t;
+  sites : (int * string * string) list;
+  indirect : int list;
+  recursive : (string, unit) Hashtbl.t;
+}
+
+let add_edge tbl a b =
+  let existing = try Hashtbl.find tbl a with Not_found -> [] in
+  if not (List.mem b existing) then Hashtbl.replace tbl a (b :: existing)
+
+let build program =
+  let edges = Hashtbl.create 16 and redges = Hashtbl.create 16 in
+  let sites = ref [] and indirect = ref [] in
+  List.iter
+    (fun (proc : Program.proc) ->
+      let pc = ref proc.Program.entry in
+      while !pc <= proc.Program.last do
+        (match Program.fetch program !pc with
+        | Instr.Jal target -> (
+            match Program.proc_of_pc program target with
+            | Some callee ->
+                add_edge edges proc.Program.name callee.Program.name;
+                add_edge redges callee.Program.name proc.Program.name;
+                sites := (!pc, proc.Program.name, callee.Program.name) :: !sites
+            | None -> ())
+        | Instr.Jalr _ -> indirect := !pc :: !indirect
+        | _ -> ());
+        pc := !pc + Instr.bytes_per_instr
+      done)
+    program.Program.procs;
+  (* a procedure is recursive when it can reach itself through the edges *)
+  let recursive = Hashtbl.create 8 in
+  let reaches_self start =
+    let seen = Hashtbl.create 8 in
+    let rec go name =
+      let next = try Hashtbl.find edges name with Not_found -> [] in
+      List.exists
+        (fun callee ->
+          callee = start
+          ||
+          if Hashtbl.mem seen callee then false
+          else begin
+            Hashtbl.replace seen callee ();
+            go callee
+          end)
+        next
+    in
+    go start
+  in
+  List.iter
+    (fun (proc : Program.proc) ->
+      if reaches_self proc.Program.name then
+        Hashtbl.replace recursive proc.Program.name ())
+    program.Program.procs;
+  { edges; redges; sites = List.rev !sites; indirect = List.rev !indirect;
+    recursive }
+
+let callees t name =
+  List.sort compare (try Hashtbl.find t.edges name with Not_found -> [])
+
+let callers t name =
+  List.sort compare (try Hashtbl.find t.redges name with Not_found -> [])
+
+let call_sites t = t.sites
+let indirect_sites t = t.indirect
+let is_recursive t name = Hashtbl.mem t.recursive name
+
+let recursive_procs t =
+  List.sort compare (Hashtbl.fold (fun name () acc -> name :: acc) t.recursive [])
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>call graph (%d direct sites, %d indirect)@,"
+    (List.length t.sites) (List.length t.indirect);
+  Hashtbl.iter
+    (fun caller callees ->
+      Format.fprintf ppf "  %s -> %s@," caller
+        (String.concat ", " (List.sort compare callees)))
+    t.edges;
+  (match recursive_procs t with
+  | [] -> ()
+  | l -> Format.fprintf ppf "  recursive: %s@," (String.concat ", " l));
+  Format.fprintf ppf "@]"

@@ -1,0 +1,30 @@
+(** Static call graph over a program's procedure table.
+
+    Direct calls ([jal]) resolve to the procedure containing the target;
+    indirect calls ([jalr]) are recorded as unresolved sites. Recursion
+    detection (procedures on a call cycle) is useful when sizing tasks:
+    a procedure fall-through spawn across a recursive call has unbounded
+    dynamic distance. *)
+
+type t
+
+val build : Program.t -> t
+
+(** Procedures [name] calls directly (deduplicated, sorted). *)
+val callees : t -> string -> string list
+
+(** Procedures that call [name] directly. *)
+val callers : t -> string -> string list
+
+(** All direct call sites: [(site_pc, caller, callee)]. *)
+val call_sites : t -> (int * string * string) list
+
+(** PCs of indirect call sites ([jalr]) whose targets are unknown. *)
+val indirect_sites : t -> int list
+
+(** Is [name] part of a call cycle (including self-recursion)? *)
+val is_recursive : t -> string -> bool
+
+val recursive_procs : t -> string list
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,140 @@
+type terminator =
+  | Term_branch of Instr.cmp
+  | Term_call
+  | Term_return
+  | Term_ind_jump
+  | Term_jump
+  | Term_fall
+  | Term_halt
+
+type block_info = {
+  id : int;
+  first_pc : int;
+  last_pc : int;
+  term : terminator;
+  ninstrs : int;
+}
+
+type t = {
+  proc : Program.proc;
+  cfg : Pf_cfg.Cfg.t;
+  blocks : block_info array;
+  exit_id : int;
+  block_of_index : int array; (* per instruction of the procedure *)
+  first_index : int;          (* program-wide instruction index of proc entry *)
+}
+
+let block_at t pc =
+  if pc >= t.proc.Program.entry && pc <= t.proc.Program.last
+     && (pc - t.proc.Program.entry) mod Instr.bytes_per_instr = 0
+  then Some t.block_of_index.((pc - t.proc.Program.entry) / Instr.bytes_per_instr)
+  else None
+
+let block_starting_at t pc =
+  match block_at t pc with
+  | Some b when t.blocks.(b).first_pc = pc -> Some b
+  | _ -> None
+
+let build program proc =
+  let { Program.entry; last; _ } = proc in
+  let step = Instr.bytes_per_instr in
+  let n = ((last - entry) / step) + 1 in
+  let in_proc pc = pc >= entry && pc <= last in
+  let idx pc = (pc - entry) / step in
+  (* pass 1: find leaders *)
+  let leader = Array.make n false in
+  leader.(0) <- true;
+  for i = 0 to n - 1 do
+    let pc = entry + (i * step) in
+    let instr = Program.fetch program pc in
+    if Instr.is_block_terminator instr then begin
+      if i + 1 < n then leader.(i + 1) <- true;
+      match instr with
+      | Instr.Br (_, _, _, target) | Instr.J target ->
+          if in_proc target then leader.(idx target) <- true
+      | Instr.Jr r when r <> Reg.ra ->
+          List.iter
+            (fun target -> if in_proc target then leader.(idx target) <- true)
+            (Program.targets_of program pc)
+      | _ -> ()
+    end
+  done;
+  (* pass 2: form blocks — a block runs from its leader to the first
+     terminator instruction or to just before the next leader *)
+  let block_of_index = Array.make n (-1) in
+  let blocks = ref [] in
+  let nblocks = ref 0 in
+  let i = ref 0 in
+  while !i < n do
+    let start = !i in
+    let id = !nblocks in
+    incr nblocks;
+    let rec scan j =
+      let pc = entry + (j * step) in
+      if Instr.is_block_terminator (Program.fetch program pc) then j
+      else if j + 1 >= n || leader.(j + 1) then j
+      else scan (j + 1)
+    in
+    let last_idx = scan start in
+    for k = start to last_idx do
+      block_of_index.(k) <- id
+    done;
+    i := last_idx + 1;
+    let last_pc = entry + (last_idx * step) in
+    let term =
+      match Program.fetch program last_pc with
+      | Instr.Br (cmp, _, _, _) -> Term_branch cmp
+      | Instr.Jal _ | Instr.Jalr _ -> Term_call
+      | Instr.Jr r when r = Reg.ra -> Term_return
+      | Instr.Jr _ -> Term_ind_jump
+      | Instr.J _ -> Term_jump
+      | Instr.Halt -> Term_halt
+      | _ -> Term_fall
+    in
+    blocks :=
+      { id; first_pc = entry + (start * step); last_pc; term;
+        ninstrs = last_idx - start + 1 }
+      :: !blocks
+  done;
+  let body_blocks = Array.of_list (List.rev !blocks) in
+  let exit_id = Array.length body_blocks in
+  let all_blocks =
+    Array.append body_blocks
+      [| { id = exit_id; first_pc = -1; last_pc = -1; term = Term_halt; ninstrs = 0 } |]
+  in
+  let cfg = Pf_cfg.Cfg.create ~nblocks:(exit_id + 1) ~entry:0 ~exit:exit_id in
+  Array.iter
+    (fun b ->
+      if b.id <> exit_id then begin
+        let fall = b.last_pc + step in
+        let fall_block () =
+          if in_proc fall then Pf_cfg.Cfg.add_edge cfg b.id block_of_index.(idx fall)
+          else Pf_cfg.Cfg.add_edge cfg b.id exit_id
+        in
+        let edge_to target =
+          if in_proc target then Pf_cfg.Cfg.add_edge cfg b.id block_of_index.(idx target)
+          else Pf_cfg.Cfg.add_edge cfg b.id exit_id
+        in
+        match b.term with
+        | Term_branch _ ->
+            (* fall-through first (the Cfg convention), then the target *)
+            fall_block ();
+            (match Program.fetch program b.last_pc with
+            | Instr.Br (_, _, _, target) -> edge_to target
+            | _ -> assert false)
+        | Term_call | Term_fall -> fall_block ()
+        | Term_return | Term_halt -> Pf_cfg.Cfg.add_edge cfg b.id exit_id
+        | Term_jump -> (
+            match Program.fetch program b.last_pc with
+            | Instr.J target -> edge_to target
+            | _ -> assert false)
+        | Term_ind_jump -> (
+            match Program.targets_of program b.last_pc with
+            | [] -> Pf_cfg.Cfg.add_edge cfg b.id exit_id
+            | targets -> List.iter edge_to targets)
+      end)
+    all_blocks;
+  { proc; cfg; blocks = all_blocks; exit_id; block_of_index;
+    first_index = Program.index_of_pc program entry }
+
+let build_all program = List.map (build program) program.Program.procs

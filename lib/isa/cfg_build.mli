@@ -1,0 +1,47 @@
+(** Per-procedure control-flow-graph construction.
+
+    Mirrors the paper's compiler view (Section 2): each procedure gets its
+    own CFG; a call terminates a basic block and falls through to the
+    return point (so the ipostdom of a call block is the procedure
+    fall-through); returns and halts flow to a virtual exit block;
+    indirect jumps use the program's declared target profile. *)
+
+type terminator =
+  | Term_branch of Instr.cmp   (** conditional branch *)
+  | Term_call                  (** [jal]/[jalr]; successor = return point *)
+  | Term_return                (** [jr $ra] *)
+  | Term_ind_jump              (** [jr r], profiled targets *)
+  | Term_jump                  (** unconditional [j] *)
+  | Term_fall                  (** block ends because the next PC is a leader *)
+  | Term_halt
+
+type block_info = {
+  id : int;
+  first_pc : int;
+  last_pc : int;       (** PC of the block's final instruction *)
+  term : terminator;
+  ninstrs : int;
+}
+
+type t = {
+  proc : Program.proc;
+  cfg : Pf_cfg.Cfg.t;
+  blocks : block_info array; (** indexed by block id; the virtual exit block
+                                 has [first_pc = -1] *)
+  exit_id : int;
+  block_of_index : int array;
+      (** block id of each instruction, indexed by instruction position
+          relative to the procedure entry *)
+  first_index : int; (** program-wide instruction index of the entry *)
+}
+
+(** Block id containing [pc], if [pc] belongs to this procedure. *)
+val block_at : t -> int -> int option
+
+(** Block whose first instruction is [pc]. *)
+val block_starting_at : t -> int -> int option
+
+val build : Program.t -> Program.proc -> t
+
+(** CFGs of every procedure of the program. *)
+val build_all : Program.t -> t list

@@ -1,0 +1,210 @@
+let ( let* ) = Result.bind
+
+let error fmt = Printf.ksprintf (fun s -> Error s) fmt
+
+let int_of_target s =
+  match int_of_string_opt s with
+  | Some v -> Ok v
+  | None -> error "bad target %S" s
+
+let imm_of_string s =
+  match Int64.of_string_opt s with
+  | Some v -> Ok v
+  | None -> error "bad immediate %S" s
+
+let reg_of_string s =
+  match Reg.of_name s with
+  | Some r -> Ok r
+  | None -> error "unknown register %S" s
+
+(* "off($base)" *)
+let mem_operand s =
+  match String.index_opt s '(' with
+  | Some i when String.length s > i + 1 && s.[String.length s - 1] = ')' ->
+      let off = String.sub s 0 i in
+      let base = String.sub s (i + 1) (String.length s - i - 2) in
+      let* off =
+        match int_of_string_opt off with
+        | Some v -> Ok v
+        | None -> error "bad offset %S" off
+      in
+      let* base = reg_of_string base in
+      Ok (off, base)
+  | _ -> error "bad memory operand %S" s
+
+let alu_ops =
+  [ ("add", Instr.Add); ("sub", Instr.Sub); ("and", Instr.And);
+    ("or", Instr.Or); ("xor", Instr.Xor); ("nor", Instr.Nor);
+    ("sll", Instr.Sll); ("srl", Instr.Srl); ("sra", Instr.Sra);
+    ("slt", Instr.Slt); ("sltu", Instr.Sltu); ("mul", Instr.Mul);
+    ("div", Instr.Div); ("rem", Instr.Rem) ]
+
+let loads =
+  [ ("lb", (Instr.B, true)); ("lbu", (Instr.B, false));
+    ("lh", (Instr.H, true)); ("lhu", (Instr.H, false));
+    ("lw", (Instr.W, true)); ("lwu", (Instr.W, false));
+    ("ld", (Instr.D, true)) ]
+
+let stores =
+  [ ("sb", Instr.B); ("sh", Instr.H); ("sw", Instr.W); ("sd", Instr.D) ]
+
+let two_reg_branches = [ ("beq", Instr.Eq); ("bne", Instr.Ne) ]
+
+let one_reg_branches =
+  [ ("blez", Instr.Lez); ("bgtz", Instr.Gtz); ("bgez", Instr.Gez);
+    ("bltz", Instr.Ltz) ]
+
+let tokenize line =
+  line
+  |> String.split_on_char ','
+  |> List.concat_map (String.split_on_char ' ')
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun s -> s <> "")
+
+let instr_of_string line =
+  match tokenize line with
+  | [] -> Error "empty instruction"
+  | mnemonic :: operands -> (
+      let strip_i m =
+        (* "addi" -> "add" etc.; careful: "li" is its own mnemonic *)
+        if String.length m > 1 && m.[String.length m - 1] = 'i' && m <> "li"
+        then Some (String.sub m 0 (String.length m - 1))
+        else None
+      in
+      match (mnemonic, operands) with
+      | "nop", [] -> Ok Instr.Nop
+      | "halt", [] -> Ok Instr.Halt
+      | "li", [ rd; imm ] ->
+          let* rd = reg_of_string rd in
+          let* imm = imm_of_string imm in
+          Ok (Instr.Li (rd, imm))
+      | "j", [ t ] ->
+          let* t = int_of_target t in
+          Ok (Instr.J t)
+      | "jal", [ t ] ->
+          let* t = int_of_target t in
+          Ok (Instr.Jal t)
+      | "jr", [ r ] ->
+          let* r = reg_of_string r in
+          Ok (Instr.Jr r)
+      | "jalr", [ r ] ->
+          let* r = reg_of_string r in
+          Ok (Instr.Jalr r)
+      | m, [ rd; mem ] when List.mem_assoc m loads ->
+          let w, signed = List.assoc m loads in
+          let* rd = reg_of_string rd in
+          let* off, base = mem_operand mem in
+          Ok (Instr.Load (w, signed, rd, base, off))
+      | m, [ rt; mem ] when List.mem_assoc m stores ->
+          let w = List.assoc m stores in
+          let* rt = reg_of_string rt in
+          let* off, base = mem_operand mem in
+          Ok (Instr.Store (w, rt, base, off))
+      | m, [ rs; rt; t ] when List.mem_assoc m two_reg_branches ->
+          let cmp = List.assoc m two_reg_branches in
+          let* rs = reg_of_string rs in
+          let* rt = reg_of_string rt in
+          let* t = int_of_target t in
+          Ok (Instr.Br (cmp, rs, rt, t))
+      | m, [ rs; t ] when List.mem_assoc m one_reg_branches ->
+          let cmp = List.assoc m one_reg_branches in
+          let* rs = reg_of_string rs in
+          let* t = int_of_target t in
+          Ok (Instr.Br (cmp, rs, Reg.zero, t))
+      | m, [ rd; rs; rt ] when List.mem_assoc m alu_ops ->
+          let op = List.assoc m alu_ops in
+          let* rd = reg_of_string rd in
+          let* rs = reg_of_string rs in
+          let* rt = reg_of_string rt in
+          Ok (Instr.Alu (op, rd, rs, rt))
+      | m, [ rd; rs; imm ] when Option.is_some (strip_i m) -> (
+          match List.assoc_opt (Option.get (strip_i m)) alu_ops with
+          | Some op ->
+              let* rd = reg_of_string rd in
+              let* rs = reg_of_string rs in
+              let* imm = imm_of_string imm in
+              Ok (Instr.Alui (op, rd, rs, imm))
+          | None -> error "unknown mnemonic %S" m)
+      | m, _ -> error "cannot parse %S (mnemonic %S)" line m)
+
+(* strip a "# ..." comment and surrounding blanks *)
+let clean line =
+  let line =
+    match String.index_opt line '#' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  String.trim line
+
+(* "  1004: instr" -> instr (after verifying the location counter);
+   "name:" -> proc *)
+type line_kind = Blank | Proc of string | Code of string * int option
+
+let classify line =
+  let line = clean line in
+  if line = "" then Ok Blank
+  else
+    match String.index_opt line ':' with
+    | Some i when i = String.length line - 1 ->
+        Ok (Proc (String.trim (String.sub line 0 i)))
+    | Some i -> (
+        let prefix = String.trim (String.sub line 0 i) in
+        let rest = String.trim (String.sub line (i + 1) (String.length line - i - 1)) in
+        match int_of_string_opt ("0x" ^ prefix) with
+        | Some pc -> Ok (Code (rest, Some pc))
+        | None -> error "bad line %S" line)
+    | None -> Ok (Code (line, None))
+
+let program_of_string ?(base = 0x1000) text =
+  let lines = String.split_on_char '\n' text in
+  let rec go lineno lines code procs_rev =
+    match lines with
+    | [] -> Ok (List.rev code, List.rev procs_rev)
+    | line :: rest -> (
+        match classify line with
+        | Error e -> error "line %d: %s" lineno e
+        | Ok Blank -> go (lineno + 1) rest code procs_rev
+        | Ok (Proc name) ->
+            go (lineno + 1) rest code ((name, List.length code) :: procs_rev)
+        | Ok (Code (text, pc)) -> (
+            let here = base + (Instr.bytes_per_instr * List.length code) in
+            match pc with
+            | Some pc when pc <> here ->
+                error "line %d: PC %x does not match location counter %x"
+                  lineno pc here
+            | _ -> (
+                match instr_of_string text with
+                | Ok i -> go (lineno + 1) rest (i :: code) procs_rev
+                | Error e -> error "line %d: %s" lineno e)))
+  in
+  let* code, procs = go 1 lines [] [] in
+  if code = [] then Error "no instructions"
+  else
+    let n = List.length code in
+    let proc_records =
+      let rec close = function
+        | [] -> []
+        | (name, start) :: rest ->
+            let last_idx =
+              match rest with [] -> n - 1 | (_, next) :: _ -> next - 1
+            in
+            { Program.name;
+              entry = base + (start * Instr.bytes_per_instr);
+              last = base + (last_idx * Instr.bytes_per_instr) }
+            :: close rest
+      in
+      close procs
+    in
+    let entry_pc =
+      match proc_records with p :: _ -> p.Program.entry | [] -> base
+    in
+    Ok
+      { Program.base;
+        code = Array.of_list code;
+        entry_pc;
+        procs = proc_records;
+        indirect_targets = [] }
+
+let round_trip p =
+  let text = Format.asprintf "%a" Program.pp p in
+  program_of_string ~base:p.Program.base text

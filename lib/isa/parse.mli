@@ -1,0 +1,26 @@
+(** Parser for the textual assembly syntax that {!Instr.pp} and
+    {!Program.pp} print, giving a disassemble/reassemble round trip for
+    tooling (dumping a workload binary, editing it, reloading it).
+
+    Accepted line forms:
+    - [name:] — opens a procedure;
+    - [  1004: addi $t0, $t0, -1] — a PC-prefixed instruction (the PC is
+      checked against the running location counter);
+    - [addi $t0, $t0, -1] — a bare instruction;
+    - blank lines and [#]-comments are skipped.
+
+    Branch and jump targets are absolute PCs ([0x]-hex or decimal), as
+    printed by the disassembler. Indirect-jump target profiles are not
+    part of the textual syntax; reattach them via the program record if
+    needed. *)
+
+(** Parse one instruction. *)
+val instr_of_string : string -> (Instr.t, string) result
+
+(** Parse a whole listing. [base] is the PC of the first instruction
+    (default 0x1000); the entry point is the first procedure. *)
+val program_of_string : ?base:int -> string -> (Program.t, string) result
+
+(** [round_trip p] disassembles and reparses, preserving code and
+    procedure table (indirect-target profiles are dropped). *)
+val round_trip : Program.t -> (Program.t, string) result

@@ -1,0 +1,45 @@
+type proc = { name : string; entry : int; last : int }
+
+type t = {
+  base : int;
+  code : Instr.t array;
+  entry_pc : int;
+  procs : proc list;
+  indirect_targets : (int * int list) list;
+}
+
+let length p = Array.length p.code
+
+let in_range p pc =
+  pc >= p.base
+  && pc < p.base + (Array.length p.code * Instr.bytes_per_instr)
+  && (pc - p.base) mod Instr.bytes_per_instr = 0
+
+let index_of_pc p pc =
+  if not (in_range p pc) then
+    invalid_arg (Printf.sprintf "Program: pc 0x%x unmapped" pc);
+  (pc - p.base) / Instr.bytes_per_instr
+
+let pc_of_index p i = p.base + (i * Instr.bytes_per_instr)
+
+let fetch p pc = p.code.(index_of_pc p pc)
+
+let proc_of_pc p pc =
+  List.find_opt (fun pr -> pc >= pr.entry && pc <= pr.last) p.procs
+
+let find_proc p name = List.find_opt (fun pr -> pr.name = name) p.procs
+
+let targets_of p pc =
+  match List.assoc_opt pc p.indirect_targets with Some l -> l | None -> []
+
+let pp ppf p =
+  Format.fprintf ppf "@[<v>";
+  Array.iteri
+    (fun i instr ->
+      let pc = pc_of_index p i in
+      (match List.find_opt (fun pr -> pr.entry = pc) p.procs with
+      | Some pr -> Format.fprintf ppf "%s:@," pr.name
+      | None -> ());
+      Format.fprintf ppf "  %04x: %a@," pc Instr.pp instr)
+    p.code;
+  Format.fprintf ppf "@]"

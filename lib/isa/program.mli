@@ -1,0 +1,44 @@
+(** An assembled program: a code image plus the metadata the analyses
+    need (procedure table, known indirect-jump targets). *)
+
+type proc = {
+  name : string;
+  entry : int;      (** PC of the first instruction *)
+  last : int;       (** PC of the last instruction (inclusive) *)
+}
+
+type t = {
+  base : int;                        (** PC of [code.(0)] *)
+  code : Instr.t array;
+  entry_pc : int;                    (** where execution starts *)
+  procs : proc list;                 (** ascending by [entry] *)
+  indirect_targets : (int * int list) list;
+      (** for each indirect-jump PC, the possible target PCs (a static
+          profile, standing in for the paper's profile-driven analysis) *)
+}
+
+(** Number of instructions. *)
+val length : t -> int
+
+(** [in_range p pc] — does [pc] address an instruction of [p]? *)
+val in_range : t -> int -> bool
+
+(** [fetch p pc] returns the instruction at [pc].
+    @raise Invalid_argument if [pc] is unmapped or misaligned. *)
+val fetch : t -> int -> Instr.t
+
+(** Instruction index of a PC and back. *)
+val index_of_pc : t -> int -> int
+
+val pc_of_index : t -> int -> int
+
+(** Innermost procedure containing [pc], if any. *)
+val proc_of_pc : t -> int -> proc option
+
+val find_proc : t -> string -> proc option
+
+(** Declared targets of the indirect jump at [pc] ([] if none). *)
+val targets_of : t -> int -> int list
+
+(** Disassembly listing. *)
+val pp : Format.formatter -> t -> unit

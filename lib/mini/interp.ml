@@ -1,0 +1,205 @@
+exception Return_exc of int64
+exception Break_exc
+
+type outcome = {
+  globals : (string * int64) list;
+  read_global : string -> int64;
+  read_mem : int -> int64;
+  steps : int;
+}
+
+type state = {
+  mem : (int, int) Hashtbl.t; (* byte-addressed *)
+  globals_addr : (string, int) Hashtbl.t;
+  global_sizes : (string, int) Hashtbl.t;
+  funcs : (string, Ast.func) Hashtbl.t;
+  mutable steps : int;
+  fuel : int;
+}
+
+let tick st =
+  st.steps <- st.steps + 1;
+  if st.steps > st.fuel then invalid_arg "Interp: out of fuel"
+
+let read_u8 st addr = try Hashtbl.find st.mem addr with Not_found -> 0
+
+let write_u8 st addr v = Hashtbl.replace st.mem addr (v land 0xff)
+
+let read_bytes st addr n =
+  let v = ref 0L in
+  for k = n - 1 downto 0 do
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (read_u8 st (addr + k)))
+  done;
+  !v
+
+let sign_extend v bits =
+  let shift = 64 - bits in
+  Int64.shift_right (Int64.shift_left v shift) shift
+
+let load st w addr =
+  let n = Pf_isa.Instr.width_bytes w in
+  sign_extend (read_bytes st addr n) (8 * n)
+
+let store st w addr v =
+  let n = Pf_isa.Instr.width_bytes w in
+  for k = 0 to n - 1 do
+    write_u8 st (addr + k)
+      (Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * k)) 0xffL))
+  done
+
+let alu_eval = Pf_isa.Machine.alu_eval
+
+let rel_eval rel a b =
+  let c = Int64.compare a b in
+  let holds =
+    match rel with
+    | Ast.Req -> c = 0
+    | Ast.Rne -> c <> 0
+    | Ast.Rlt -> c < 0
+    | Ast.Rle -> c <= 0
+    | Ast.Rgt -> c > 0
+    | Ast.Rge -> c >= 0
+  in
+  if holds then 1L else 0L
+
+type frame = (string, int64) Hashtbl.t
+
+let rec eval st (frame : frame) e =
+  tick st;
+  match e with
+  | Ast.Const v -> v
+  | Ast.Var x -> (
+      match Hashtbl.find_opt frame x with
+      | Some v -> v
+      | None -> (
+          match Hashtbl.find_opt st.globals_addr x with
+          | Some addr when Hashtbl.find st.global_sizes x = 8 ->
+              read_bytes st addr 8
+          | _ -> invalid_arg (Printf.sprintf "Interp: unknown variable %s" x)))
+  | Ast.Addr x -> (
+      match Hashtbl.find_opt st.globals_addr x with
+      | Some addr -> Int64.of_int addr
+      | None -> invalid_arg (Printf.sprintf "Interp: unknown global %s" x))
+  | Ast.Load (w, _signed, addr_e) ->
+      let addr = Int64.to_int (eval st frame addr_e) in
+      load st w addr
+  | Ast.Binop (op, e1, e2) ->
+      let a = eval st frame e1 in
+      let b = eval st frame e2 in
+      alu_eval op a b
+  | Ast.Cmp (rel, e1, e2) ->
+      let a = eval st frame e1 in
+      let b = eval st frame e2 in
+      rel_eval rel a b
+  | Ast.Call (f, args) -> call st frame f args
+
+and call st frame f args =
+  let func =
+    match Hashtbl.find_opt st.funcs f with
+    | Some f -> f
+    | None -> invalid_arg (Printf.sprintf "Interp: unknown function %s" f)
+  in
+  if List.length args > 4 then
+    invalid_arg (Printf.sprintf "Interp: %s called with more than 4 arguments" f);
+  let arg_values = List.map (eval st frame) args in
+  let callee_frame : frame = Hashtbl.create 16 in
+  List.iteri
+    (fun k x ->
+      if k < List.length arg_values then
+        Hashtbl.replace callee_frame x (List.nth arg_values k))
+    func.Ast.params;
+  try
+    List.iter (exec st callee_frame) func.Ast.body;
+    0L (* falling off the end leaves the result unspecified; use 0 *)
+  with Return_exc v -> v
+
+and assign st frame x v =
+  if Hashtbl.mem frame x then Hashtbl.replace frame x v
+  else
+    match Hashtbl.find_opt st.globals_addr x with
+    | Some addr when Hashtbl.find st.global_sizes x = 8 -> store st Pf_isa.Instr.D addr v
+    | _ -> Hashtbl.replace frame x v (* a new local *)
+
+and exec st frame stmt =
+  tick st;
+  match stmt with
+  | Ast.Let (x, e) | Ast.Set (x, e) ->
+      let v = eval st frame e in
+      (* Let always introduces/overwrites a local; Set resolves like the
+         compiler: local if bound, else 8-byte global, else a new local *)
+      (match stmt with
+      | Ast.Let _ -> Hashtbl.replace frame x v
+      | _ -> assign st frame x v)
+  | Ast.Store (w, addr_e, val_e) ->
+      let addr = Int64.to_int (eval st frame addr_e) in
+      let v = eval st frame val_e in
+      store st w addr v
+  | Ast.If (cond, then_s, else_s) ->
+      if eval st frame cond <> 0L then List.iter (exec st frame) then_s
+      else List.iter (exec st frame) else_s
+  | Ast.While (cond, body) -> (
+      try
+        while eval st frame cond <> 0L do
+          List.iter (exec st frame) body
+        done
+      with Break_exc -> ())
+  | Ast.Do_while (body, cond) -> (
+      try
+        let continue_ = ref true in
+        while !continue_ do
+          List.iter (exec st frame) body;
+          continue_ := eval st frame cond <> 0L
+        done
+      with Break_exc -> ())
+  | Ast.Switch (sel, cases, default) -> (
+      let v = eval st frame sel in
+      let body =
+        if Int64.compare v 0L < 0 then default
+        else
+          match List.assoc_opt (Int64.to_int v) cases with
+          | Some b -> b
+          | None -> default
+      in
+      List.iter (exec st frame) body)
+  | Ast.Call_stmt (f, args) -> ignore (call st frame f args)
+  | Ast.Return (Some e) -> raise (Return_exc (eval st frame e))
+  | Ast.Return None -> raise (Return_exc 0L)
+  | Ast.Break -> raise Break_exc
+
+let layout (p : Ast.program) =
+  (* must match Compile's layout: sequential 8-byte-aligned from 0x100000 *)
+  let globals_addr = Hashtbl.create 16 and global_sizes = Hashtbl.create 16 in
+  let next = ref 0x100000 in
+  List.iter
+    (fun (name, size) ->
+      let size = (size + 7) / 8 * 8 in
+      Hashtbl.replace globals_addr name !next;
+      Hashtbl.replace global_sizes name size;
+      next := !next + size)
+    p.Ast.globals;
+  (globals_addr, global_sizes)
+
+let run ?(fuel = 10_000_000) ?(init_mem = []) (p : Ast.program) =
+  let globals_addr, global_sizes = layout p in
+  let funcs = Hashtbl.create 16 in
+  List.iter (fun (f : Ast.func) -> Hashtbl.replace funcs f.Ast.name f) p.Ast.funcs;
+  if not (Hashtbl.mem funcs "main") then invalid_arg "Interp: no main";
+  let st =
+    { mem = Hashtbl.create 1024; globals_addr; global_sizes; funcs;
+      steps = 0; fuel }
+  in
+  List.iter (fun (addr, v) -> store st Pf_isa.Instr.D addr v) init_mem;
+  ignore (call st (Hashtbl.create 1) "main" []);
+  let read_mem addr = read_bytes st addr 8 in
+  let read_global name =
+    match Hashtbl.find_opt globals_addr name with
+    | Some addr -> read_mem addr
+    | None -> invalid_arg (Printf.sprintf "Interp: unknown global %s" name)
+  in
+  let globals =
+    List.filter_map
+      (fun (name, size) ->
+        if size <= 8 then Some (name, read_global name) else None)
+      p.Ast.globals
+  in
+  { globals; read_global; read_mem; steps = st.steps }

@@ -1,0 +1,21 @@
+(** Reference interpreter for Mini — direct evaluation of the AST with
+    OCaml semantics, independent of the compiler and the ISA machine.
+
+    Used for differential testing: a Mini program compiled by {!Compile}
+    and executed on [Pf_isa.Machine] must leave the same values in its
+    globals as this interpreter computes. The memory model matches the
+    compiled one: globals live at the same addresses ({!Compile} layout),
+    loads/stores hit a byte-addressed memory, locals are unbounded. *)
+
+type outcome = {
+  globals : (string * int64) list; (** final value of each 8-byte global *)
+  read_global : string -> int64;
+  read_mem : int -> int64;         (** 8-byte little-endian read *)
+  steps : int;                     (** statements + expressions evaluated *)
+}
+
+(** [run ?fuel p] interprets [p] from its [main].
+    @raise Invalid_argument on the same programs {!Compile} rejects
+    (unknown identifiers, bad calls) and on non-terminating programs
+    once [fuel] (default 10 million steps) runs out. *)
+val run : ?fuel:int -> ?init_mem:(int * int64) list -> Ast.program -> outcome

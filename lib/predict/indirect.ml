@@ -1,0 +1,9 @@
+type t = (int, int) Hashtbl.t
+
+let create () : t = Hashtbl.create 64
+
+let predict t ~pc = Hashtbl.find_opt t pc
+
+let update t ~pc ~target = Hashtbl.replace t pc target
+
+let reset t = Hashtbl.clear t

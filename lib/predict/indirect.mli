@@ -1,0 +1,14 @@
+(** Last-target predictor for indirect jumps and indirect calls
+    (a BTB-style table keyed by jump PC). *)
+
+type t
+
+val create : unit -> t
+
+(** Predicted target of the indirect jump at [pc]; [None] before any
+    training. *)
+val predict : t -> pc:int -> int option
+
+val update : t -> pc:int -> target:int -> unit
+
+val reset : t -> unit

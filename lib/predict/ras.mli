@@ -1,0 +1,16 @@
+(** Return-address stack. Pushed at calls, popped at returns; a return
+    whose predicted target disagrees with the real one (stack overflow
+    wrapped around, or underflow) counts as a misprediction. *)
+
+type t
+
+val create : ?depth:int -> unit -> t
+
+(** Record a call whose return address is [return_pc]. *)
+val push : t -> int -> unit
+
+(** Predict the target of a return; [None] when the stack is empty. *)
+val pop : t -> int option
+
+val copy : t -> t
+val reset : t -> unit

@@ -1,0 +1,103 @@
+type entry = {
+  branch_pc : int;
+  mutable cand : int;        (* current reconvergence candidate *)
+  mutable confidence : int;
+  mutable monitored : bool;  (* a monitor for this branch is open *)
+}
+
+type monitor = {
+  entry : entry;
+  depth0 : int;
+  mutable remaining : int;
+}
+
+type t = {
+  window : int;
+  confidence : int;
+  max_monitors : int;
+  entries : (int, entry) Hashtbl.t;
+  mutable monitors : monitor list;
+  mutable depth : int;
+}
+
+let create ?(window = 256) ?(confidence = 2) ?(max_monitors = 64) () =
+  { window; confidence; max_monitors;
+    entries = Hashtbl.create 256; monitors = []; depth = 0 }
+
+let retire t ~pc ~instr =
+  (* 1. run every open monitor over this instruction. The decisive event
+     is the first retired PC at-or-above the candidate at the branch's
+     call depth: equal confirms the candidate, higher pushes it upward
+     (the true join lies on every path, so it can never be skipped). *)
+  let keep m =
+    let e = m.entry in
+    if t.depth > m.depth0 then true (* inside a call: skip *)
+    else if t.depth < m.depth0 then begin
+      (* returned past the branch before reconverging: inconclusive *)
+      e.monitored <- false;
+      false
+    end
+    else if pc = e.cand then begin
+      e.confidence <- min 8 (e.confidence + 1);
+      e.monitored <- false;
+      false
+    end
+    else if pc > e.cand then begin
+      e.cand <- pc;
+      e.confidence <- 0;
+      e.monitored <- false;
+      false
+    end
+    else begin
+      m.remaining <- m.remaining - 1;
+      if m.remaining <= 0 then begin
+        e.monitored <- false;
+        false
+      end
+      else true
+    end
+  in
+  t.monitors <- List.filter keep t.monitors;
+  (* 2. maintain the call-depth counter *)
+  if Pf_isa.Instr.is_call instr then t.depth <- t.depth + 1
+  else if Pf_isa.Instr.is_return instr then t.depth <- max 0 (t.depth - 1);
+  (* 3. open a monitor for a retiring conditional branch or indirect
+     jump (Collins et al. also predict indirect-jump reconvergence) *)
+  if Pf_isa.Instr.is_cond_branch instr || Pf_isa.Instr.is_indirect_jump instr
+  then begin
+    let e =
+      match Hashtbl.find_opt t.entries pc with
+      | Some e -> e
+      | None ->
+          let e =
+            { branch_pc = pc;
+              cand = pc + Pf_isa.Instr.bytes_per_instr;
+              confidence = 0;
+              monitored = false }
+          in
+          Hashtbl.replace t.entries pc e;
+          e
+    in
+    if (not e.monitored) && List.length t.monitors < t.max_monitors then begin
+      e.monitored <- true;
+      t.monitors <-
+        { entry = e; depth0 = t.depth; remaining = t.window } :: t.monitors
+    end
+  end
+
+let predict t ~branch_pc =
+  match Hashtbl.find_opt t.entries branch_pc with
+  | Some e when e.confidence >= t.confidence -> Some e.cand
+  | Some _ | None -> None
+
+let learned_branches t =
+  Hashtbl.fold
+    (fun _ (e : entry) acc -> if e.confidence >= t.confidence then acc + 1 else acc)
+    t.entries 0
+
+let observed_branches t = Hashtbl.length t.entries
+
+let reset t =
+  Hashtbl.clear t.entries;
+  t.monitors <- [];
+  t.depth <- 0

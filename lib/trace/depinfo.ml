@@ -1,0 +1,29 @@
+let compute (tr : Tracer.t) =
+  let reg_writer = Array.make Pf_isa.Reg.count (-1) in
+  let mem_writer : (int, int) Hashtbl.t = Hashtbl.create 4096 in
+  Array.iteri
+    (fun i (d : Dyn.t) ->
+      (match Pf_isa.Instr.uses d.Dyn.instr with
+      | [] -> ()
+      | [ r ] -> d.Dyn.src1 <- reg_writer.(r)
+      | [ r1; r2 ] ->
+          d.Dyn.src1 <- reg_writer.(r1);
+          d.Dyn.src2 <- reg_writer.(r2)
+      | _ -> assert false (* no instruction reads more than two registers *));
+      if Dyn.is_load d then begin
+        let producer = ref (-1) in
+        for b = d.Dyn.addr to d.Dyn.addr + d.Dyn.mem_bytes - 1 do
+          match Hashtbl.find_opt mem_writer b with
+          | Some w -> if w > !producer then producer := w
+          | None -> ()
+        done;
+        d.Dyn.memsrc <- !producer
+      end;
+      if Dyn.is_store d then
+        for b = d.Dyn.addr to d.Dyn.addr + d.Dyn.mem_bytes - 1 do
+          Hashtbl.replace mem_writer b i
+        done;
+      match Pf_isa.Instr.def d.Dyn.instr with
+      | Some r -> reg_writer.(r) <- i
+      | None -> ())
+    tr.Tracer.dyns

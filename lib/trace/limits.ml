@@ -1,0 +1,34 @@
+let finish_times ~load_latency ~serialize_branches (tr : Tracer.t) =
+  let dyns = tr.Tracer.dyns in
+  let n = Array.length dyns in
+  let finish = Array.make n 0 in
+  let last_branch_finish = ref 0 in
+  let horizon = ref 0 in
+  for i = 0 to n - 1 do
+    let d = dyns.(i) in
+    let ready p = if p < 0 then 0 else finish.(p) in
+    let start =
+      max
+        (if serialize_branches then !last_branch_finish else 0)
+        (max (ready d.Dyn.src1) (max (ready d.Dyn.src2) (ready d.Dyn.memsrc)))
+    in
+    let latency =
+      if Dyn.is_load d then load_latency else Pf_isa.Instr.latency d.Dyn.instr
+    in
+    finish.(i) <- start + latency;
+    if
+      Pf_isa.Instr.is_cond_branch d.Dyn.instr
+      || Pf_isa.Instr.is_indirect_jump d.Dyn.instr
+    then last_branch_finish := max !last_branch_finish finish.(i);
+    if finish.(i) > !horizon then horizon := finish.(i)
+  done;
+  (n, !horizon)
+
+let ipc_of (n, horizon) =
+  if horizon = 0 then 0. else float_of_int n /. float_of_int horizon
+
+let dataflow_ipc ?(load_latency = 2) tr =
+  ipc_of (finish_times ~load_latency ~serialize_branches:false tr)
+
+let single_flow_ipc ?(load_latency = 2) tr =
+  ipc_of (finish_times ~load_latency ~serialize_branches:true tr)

@@ -1,0 +1,29 @@
+type t = (int, int array) Hashtbl.t
+
+let build (tr : Tracer.t) : t =
+  let lists : (int, int list) Hashtbl.t = Hashtbl.create 4096 in
+  (* iterate backwards so consing yields ascending index order *)
+  for i = Array.length tr.Tracer.dyns - 1 downto 0 do
+    let pc = tr.Tracer.dyns.(i).Dyn.pc in
+    let tail = try Hashtbl.find lists pc with Not_found -> [] in
+    Hashtbl.replace lists pc (i :: tail)
+  done;
+  let index = Hashtbl.create (Hashtbl.length lists) in
+  Hashtbl.iter (fun pc l -> Hashtbl.replace index pc (Array.of_list l)) lists;
+  index
+
+let next_after (t : t) ~pc ~index =
+  match Hashtbl.find_opt t pc with
+  | None -> None
+  | Some occs ->
+      (* binary search: first element > index *)
+      let n = Array.length occs in
+      let lo = ref 0 and hi = ref n in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        if occs.(mid) <= index then lo := mid + 1 else hi := mid
+      done;
+      if !lo < n then Some occs.(!lo) else None
+
+let count (t : t) ~pc =
+  match Hashtbl.find_opt t pc with Some a -> Array.length a | None -> 0

@@ -1,0 +1,15 @@
+(** Per-PC occurrence index over a window, used by the Task Spawn Unit
+    to locate the next dynamic instance of a spawn target PC (the
+    paper's trace-guided device that keeps tasks from being spawned too
+    far into the future, Section 3.2). *)
+
+type t
+
+val build : Tracer.t -> t
+
+(** [next_after t ~pc ~index] — smallest window index strictly greater
+    than [index] whose instruction is at [pc]; [None] if none. *)
+val next_after : t -> pc:int -> index:int -> int option
+
+(** Number of occurrences of [pc] in the window. *)
+val count : t -> pc:int -> int

@@ -1,0 +1,16 @@
+type t = {
+  dyns : Dyn.t array;
+  fast_forwarded : int;
+}
+
+let capture machine ~fast_forward ~window =
+  let skipped = Pf_isa.Machine.skip machine fast_forward in
+  let buf = ref [] in
+  let n =
+    Pf_isa.Machine.run machine ~max_instrs:window ~on_event:(fun ev ->
+        buf := Dyn.of_event ev :: !buf)
+  in
+  ignore n;
+  { dyns = Array.of_list (List.rev !buf); fast_forwarded = skipped }
+
+let length t = Array.length t.dyns

@@ -1,0 +1,16 @@
+(** Capture an execution window from the architectural simulator
+    (Section 3.2 of the paper: fast-forward through initialisation, then
+    simulate a fixed number of instructions). *)
+
+type t = {
+  dyns : Dyn.t array;
+  fast_forwarded : int; (** instructions skipped before the window *)
+}
+
+(** [capture machine ~fast_forward ~window] skips [fast_forward]
+    instructions, then records up to [window] instructions (fewer if the
+    program halts). Dependence fields are left unfilled; run
+    {!Depinfo.compute} next. *)
+val capture : Pf_isa.Machine.t -> fast_forward:int -> window:int -> t
+
+val length : t -> int

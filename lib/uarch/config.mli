@@ -1,0 +1,54 @@
+(** Machine configurations (Figure 8 of the paper).
+
+    Both the superscalar baseline and PolyFlow use the same hardware
+    resources; they differ only in task support: the superscalar runs a
+    single task and fetches from one context per cycle, PolyFlow runs up
+    to 8 tasks and fetches from two per cycle (one taken branch per task
+    per cycle in both). *)
+
+type t = {
+  width : int;                 (** pipeline width: 8 instrs/cycle *)
+  fetch_tasks_per_cycle : int; (** 1 (superscalar) or 2 (PolyFlow) *)
+  max_tasks : int;             (** 1 or 8 *)
+  rob_entries : int;           (** 512, dynamically shared *)
+  scheduler_entries : int;     (** 64, dynamically shared *)
+  fus : int;                   (** 8 identical general-purpose units *)
+  divert_entries : int;        (** 128, dynamically shared *)
+  retire_width : int;
+  min_mispredict_penalty : int; (** at least 8 cycles *)
+  frontend_depth : int;         (** fetch-to-dispatch latency *)
+  fetch_buffer : int;           (** per-task fetched-but-not-dispatched cap *)
+  max_spawn_distance : int;     (** Task Spawn Unit: don't spawn further than
+                                    this many dynamic instructions ahead *)
+  min_task_instrs : int;        (** skip spawns that would create tiny tasks *)
+  spawn_latency : int;          (** cycles before a new task may fetch *)
+  squash_penalty : int;         (** refetch delay after a dependence violation *)
+  ras_depth : int;
+  max_cycles_per_instr : int;   (** watchdog for the cycle loop *)
+  (* The engine refinements documented in DESIGN.md, each individually
+     switchable so the ablation bench can measure its contribution. *)
+  biased_fetch : bool;          (** oldest task fetches first (TME-style);
+                                    off = pure fewest-in-flight ICount *)
+  shared_history : bool;        (** one gshare history register for all
+                                    tasks instead of per-task registers *)
+  rob_shares : bool;            (** per-task/aggregate young-task ROB caps *)
+  divert_chains : bool;         (** dependent chains follow their head into
+                                    the divert queue *)
+  sp_hint : bool;               (** cross-task stack-pointer dependences are
+                                    satisfied at spawn (hint-cache register
+                                    dependence information) *)
+  feedback : bool;              (** spawn-profitability feedback *)
+  split_spawning : bool;
+      (** future work from the paper's Section 6: allow any task (not
+          just the tail) to spawn by splitting its own region, so nested
+          hammocks can all be spawned past. Off by default — the paper's
+          PolyFlow gives each thread a single successor. *)
+}
+
+(** The 8-wide superscalar baseline. *)
+val superscalar : t
+
+(** PolyFlow: the superscalar plus 8 task contexts. *)
+val polyflow : t
+
+val pp : Format.formatter -> t -> unit

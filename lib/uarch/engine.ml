@@ -1,0 +1,888 @@
+type input = {
+  config : Config.t;
+  trace : Pf_trace.Tracer.t;
+  occurrence : Pf_trace.Occurrence.t;
+  hints : Pf_core.Hint_cache.t;
+  use_rec_pred : bool;
+  use_dmt : bool;
+}
+
+(* per-instruction pipeline states *)
+let s_none = 0
+let s_fetched = 1
+let s_divert = 2
+let s_sched = 3
+let s_issued = 4
+let s_retired = 5
+
+(* instruction kind codes, precomputed from the trace *)
+let k_plain = 0
+let k_load = 1
+let k_store = 2
+let k_branch = 3
+let k_jump = 4
+let k_call = 5 (* jal *)
+let k_return = 6 (* jr $ra *)
+let k_ind_jump = 7 (* jr r *)
+let k_ind_call = 8 (* jalr *)
+
+(* profitability feedback for one static spawn point (Section 3.1: "the
+   Spawn Unit may decide to spawn the new task, depending on dynamic
+   feedback about which tasks are profitable") *)
+type spawn_stats = {
+  mutable spawned : int;
+  mutable work : int;      (* instructions its tasks fetched while young *)
+  mutable work_early : int; (* of those, completed before becoming oldest *)
+  mutable squashed : int;  (* tasks from this point hit by a violation *)
+  mutable suppressed : int;
+}
+
+type task = {
+  id : int;
+  start_idx : int;
+  mutable end_idx : int;
+  mutable fetch_ptr : int;
+  mutable dispatch_ptr : int;
+  mutable stall_until : int;
+  mutable blocked_branch : int; (* -1 = none *)
+  mutable last_line : int;
+  origin : int; (* at_pc of the spawn point that created this task, or -1 *)
+  mutable inflight : int;
+  mutable rob_used : int; (* dispatched-but-not-retired instructions *)
+  mutable history : int; (* per-task gshare global-history register *)
+  history0 : int;         (* snapshot at spawn, restored on squash *)
+  mutable ras : Pf_predict.Ras.t;
+  ras0 : Pf_predict.Ras.t; (* snapshot at spawn, restored on squash *)
+}
+
+let simulate input =
+  let cfg = input.config in
+  let dyns = input.trace.Pf_trace.Tracer.dyns in
+  let n = Array.length dyns in
+  if n = 0 then invalid_arg "Engine: empty trace";
+  (* ---- flatten the trace into arrays for the hot loop ---- *)
+  let pc = Array.make n 0 in
+  let next_pc = Array.make n 0 in
+  let taken = Array.make n false in
+  let addr = Array.make n (-1) in
+  let kind = Array.make n 0 in
+  let lat = Array.make n 1 in
+  let src1 = Array.make n (-1) in
+  let src2 = Array.make n (-1) in
+  let src1_sp = Bytes.make n '\000' in
+  let src2_sp = Bytes.make n '\000' in
+  let memsrc = Array.make n (-1) in
+  Array.iteri
+    (fun i (d : Pf_trace.Dyn.t) ->
+      pc.(i) <- d.Pf_trace.Dyn.pc;
+      next_pc.(i) <- d.Pf_trace.Dyn.next_pc;
+      taken.(i) <- d.Pf_trace.Dyn.taken;
+      addr.(i) <- d.Pf_trace.Dyn.addr;
+      src1.(i) <- d.Pf_trace.Dyn.src1;
+      src2.(i) <- d.Pf_trace.Dyn.src2;
+      (match Pf_isa.Instr.uses d.Pf_trace.Dyn.instr with
+      | [ r ] -> if r = Pf_isa.Reg.sp then Bytes.set src1_sp i '\001'
+      | [ r1; r2 ] ->
+          if r1 = Pf_isa.Reg.sp then Bytes.set src1_sp i '\001';
+          if r2 = Pf_isa.Reg.sp then Bytes.set src2_sp i '\001'
+      | _ -> ());
+      memsrc.(i) <- d.Pf_trace.Dyn.memsrc;
+      lat.(i) <- Pf_isa.Instr.latency d.Pf_trace.Dyn.instr;
+      kind.(i) <-
+        (match d.Pf_trace.Dyn.instr with
+        | Pf_isa.Instr.Load _ -> k_load
+        | Pf_isa.Instr.Store _ -> k_store
+        | Pf_isa.Instr.Br _ -> k_branch
+        | Pf_isa.Instr.J _ -> k_jump
+        | Pf_isa.Instr.Jal _ -> k_call
+        | Pf_isa.Instr.Jr r when r = Pf_isa.Reg.ra -> k_return
+        | Pf_isa.Instr.Jr _ -> k_ind_jump
+        | Pf_isa.Instr.Jalr _ -> k_ind_call
+        | _ -> k_plain))
+    dyns;
+  (* Effective per-run register sources. The spawn hint cache carries
+     register-dependence information (Section 3.1); the stack pointer at
+     a control-equivalent spawn target equals its value at the spawn
+     point (call depth balances along every path), so a cross-task sp
+     dependence is satisfied at spawn rather than through the divert
+     machinery. The fetch stage patches these copies accordingly. *)
+  let eff_src1 = Array.copy src1 in
+  let eff_src2 = Array.copy src2 in
+  (* ---- pipeline state ---- *)
+  let state = Bytes.make n '\000' in
+  let get_state i = Char.code (Bytes.unsafe_get state i) in
+  let set_state i s = Bytes.unsafe_set state i (Char.unsafe_chr s) in
+  let fetch_c = Array.make n 0 in
+  let complete_c = Array.make n max_int in
+  let synced = Bytes.make n '\000' in
+  let tstart = Array.make n 0 in
+  let gshare = Pf_predict.Gshare.create () in
+  let indirect = Pf_predict.Indirect.create () in
+  let store_sets = Pf_predict.Store_sets.create () in
+  let recpred = Pf_predict.Reconvergence.create () in
+  let hier = Pf_cache.Hierarchy.create () in
+  let line_mask = lnot (Pf_cache.Hierarchy.default_params.Pf_cache.Hierarchy.l1i_line - 1) in
+  (* tasks, in program order *)
+  let make_task id start_idx end_idx start_cycle origin history ras =
+    { id; start_idx; end_idx; fetch_ptr = start_idx; dispatch_ptr = start_idx;
+      stall_until = start_cycle; blocked_branch = -1; last_line = -1;
+      origin; inflight = 0; rob_used = 0; history; history0 = history;
+      ras = Pf_predict.Ras.copy ras; ras0 = Pf_predict.Ras.copy ras }
+  in
+  (* dynamic spawn-profitability feedback, keyed by spawn-point PC *)
+  let spawn_stats : (int, spawn_stats) Hashtbl.t = Hashtbl.create 64 in
+  let stats_for at_pc =
+    match Hashtbl.find_opt spawn_stats at_pc with
+    | Some st -> st
+    | None ->
+        let st =
+          { spawned = 0; work = 0; work_early = 0; squashed = 0; suppressed = 0 }
+        in
+        Hashtbl.replace spawn_stats at_pc st;
+        st
+  in
+  let decay st =
+    (* keep the feedback adaptive: early warm-up squashes (before the
+       store sets learn) must not poison a spawn point forever *)
+    if st.work >= 2048 || st.spawned >= 64 then begin
+      st.work <- st.work / 2;
+      st.work_early <- st.work_early / 2;
+      st.spawned <- st.spawned / 2;
+      st.squashed <- st.squashed / 2
+    end
+  in
+  (* A spawn point is profitable when the tasks it creates actually run
+     in parallel with their elders: a healthy task has completed a good
+     fraction of its fetched work by the time it becomes the oldest.
+     Tasks that merely trail a serial dependence chain complete almost
+     nothing early and only cost fetch bandwidth and contexts. Points
+     also compete: with only 8 task contexts, a point whose tasks do far
+     less parallel work than the best-known point is not worth a
+     context. *)
+  let best_frac = ref 0. in
+  let frac_of st =
+    if st.work >= 64 then Some (float_of_int st.work_early /. float_of_int st.work)
+    else None
+  in
+  let profitable at_pc =
+    let st = stats_for at_pc in
+    decay st;
+    if not cfg.Config.feedback then true
+    else if st.spawned < 4 then true
+    else
+      let bad =
+        (match frac_of st with
+        | Some f ->
+            if f > !best_frac then best_frac := f;
+            f *. 3. < 1. || f *. 2. < !best_frac
+        | None -> false)
+        || st.squashed * 4 > st.spawned
+      in
+      if not bad then true
+      else begin
+        (* periodic probe so a point can rehabilitate *)
+        st.suppressed <- st.suppressed + 1;
+        st.suppressed mod 16 = 0
+      end
+  in
+  let shared_hist = ref Pf_predict.Gshare.initial_history in
+  let initial_ras = Pf_predict.Ras.create ~depth:cfg.Config.ras_depth () in
+  let order =
+    ref [ make_task 0 0 n 0 (-1) Pf_predict.Gshare.initial_history initial_ras ]
+  in
+  let next_task_id = ref 1 in
+  let rob_count = ref 0 in
+  let sched_count = ref 0 in
+  let divert_count = ref 0 in
+  let scheduler = ref [] in (* indices; valid iff state = s_sched *)
+  let divertq = ref [] in (* indices; valid iff state = s_divert *)
+  let retire_ptr = ref 0 in
+  let now = ref 0 in
+  (* metrics *)
+  let m_branch_mp = ref 0 and m_ind_mp = ref 0 and m_ret_mp = ref 0 in
+  let m_squashes = ref 0 and m_squashed = ref 0 and m_diverted = ref 0 in
+  let m_tasks = ref 0 and m_max_live = ref 1 in
+  let spawn_counts = Hashtbl.create 8 in
+  let bump_spawn cat =
+    Hashtbl.replace spawn_counts cat
+      (1 + (try Hashtbl.find spawn_counts cat with Not_found -> 0))
+  in
+  let completed i =
+    let s = get_state i in
+    s = s_retired || (s = s_issued && complete_c.(i) <= !now)
+  in
+  let cross i p = p >= 0 && p < tstart.(i) in
+
+  (* ---- squash: reset the violating task and everything younger ---- *)
+  let squash_from victim_task =
+    incr m_squashes;
+    let started = ref false in
+    List.iter
+      (fun t ->
+        if t == victim_task then started := true;
+        if !started then begin
+          let lo = max t.start_idx !retire_ptr in
+          for i = lo to t.fetch_ptr - 1 do
+            let s = get_state i in
+            if s <> s_none then begin
+              if s >= s_divert && s <> s_retired then decr rob_count;
+              if s = s_divert then decr divert_count;
+              if s = s_sched then decr sched_count;
+              if s <> s_retired then begin
+                set_state i s_none;
+                complete_c.(i) <- max_int;
+                incr m_squashed
+              end
+            end
+          done;
+          t.fetch_ptr <- lo;
+          t.dispatch_ptr <- lo;
+          t.stall_until <- !now + cfg.Config.squash_penalty;
+          t.blocked_branch <- -1;
+          t.last_line <- -1;
+          t.inflight <- 0;
+          t.rob_used <- 0;
+          t.history <- t.history0;
+          t.ras <- Pf_predict.Ras.copy t.ras0;
+          if t.origin >= 0 then begin
+            let st = stats_for t.origin in
+            st.squashed <- st.squashed + 1
+          end
+        end)
+      !order;
+    scheduler := List.filter (fun i -> get_state i = s_sched) !scheduler;
+    divertq := List.filter (fun i -> get_state i = s_divert) !divertq
+  in
+
+  (* ---- retire ---- *)
+  let retire () =
+    let budget = ref cfg.Config.retire_width in
+    let continue_ = ref true in
+    while !continue_ && !budget > 0 && !retire_ptr < n do
+      let i = !retire_ptr in
+      if completed i then begin
+        set_state i s_retired;
+        decr rob_count;
+        decr budget;
+        if input.use_rec_pred then
+          Pf_predict.Reconvergence.retire recpred ~pc:pc.(i)
+            ~instr:dyns.(i).Pf_trace.Dyn.instr;
+        (* find the owning task to decrement inflight *)
+        List.iter
+          (fun t ->
+            if i >= t.start_idx && i < t.end_idx then begin
+              t.inflight <- t.inflight - 1;
+              t.rob_used <- t.rob_used - 1
+            end)
+          !order;
+        incr retire_ptr
+      end
+      else continue_ := false
+    done;
+    (* free finished tasks (oldest first; tasks retire in order); when a
+       task is promoted to oldest, grade how much of its fetched work it
+       already completed in parallel with its elders *)
+    let grade t =
+      if t.origin >= 0 then begin
+        let st = stats_for t.origin in
+        let fetched = t.fetch_ptr - t.start_idx in
+        if fetched >= 16 then begin
+          let early = ref 0 in
+          for i = t.start_idx to t.fetch_ptr - 1 do
+            if completed i then incr early
+          done;
+          st.work <- st.work + fetched;
+          st.work_early <- st.work_early + !early
+        end
+      end
+    in
+    let rec drop = function
+      | t :: rest when t.fetch_ptr >= t.end_idx && !retire_ptr >= t.end_idx -> (
+          match rest with
+          | next :: _ ->
+              grade next;
+              drop rest
+          | [] -> rest)
+      | l -> l
+    in
+    order := drop !order
+  in
+
+  (* ---- issue ---- *)
+  let issue () =
+    let candidates = List.sort compare !scheduler in
+    let budget = ref cfg.Config.fus in
+    let remaining = ref [] in
+    List.iter
+      (fun i ->
+        if get_state i <> s_sched then () (* squashed, drop *)
+        else if !budget = 0 then remaining := i :: !remaining
+        else begin
+          let rdy_reg p = p < 0 || completed p in
+          let m = memsrc.(i) in
+          let mem_ready, violation =
+            if kind.(i) <> k_load || m < 0 then (true, false)
+            else if not (cross i m) then (completed m, false)
+            else if Bytes.get synced i = '\001' then (completed m, false)
+            else if completed m then (true, false)
+            else (true, true) (* speculative load beat its producer *)
+          in
+          if rdy_reg eff_src1.(i) && rdy_reg eff_src2.(i) && mem_ready then begin
+            if violation then begin
+              (* dependence violation: train and squash from this task *)
+              Pf_predict.Store_sets.train_violation store_sets ~load_pc:pc.(i)
+                ~store_pc:pc.(m);
+              let victim =
+                List.find (fun t -> i >= t.start_idx && i < t.end_idx) !order
+              in
+              squash_from victim
+              (* note: i itself is squashed; the scheduler list is
+                 rebuilt inside squash_from *)
+            end
+            else begin
+              set_state i s_issued;
+              decr sched_count;
+              decr budget;
+              let latency =
+                if kind.(i) = k_load then
+                  Pf_cache.Hierarchy.data_latency hier addr.(i)
+                else begin
+                  if kind.(i) = k_store then
+                    ignore (Pf_cache.Hierarchy.data_latency hier addr.(i));
+                  lat.(i)
+                end
+              in
+              complete_c.(i) <- !now + latency
+              (* no per-access decay: as in classic store sets, learned
+                 pairs stay synchronised (decay would oscillate between
+                 speculating and re-squashing on steady conflicts) *)
+            end
+          end
+          else remaining := i :: !remaining
+        end)
+      candidates;
+    (* squash_from may have filtered the scheduler; merge carefully *)
+    scheduler := List.filter (fun i -> get_state i = s_sched) !remaining
+  in
+
+  (* Younger tasks may not exhaust the shared structures — the oldest
+     task must always be able to dispatch, or nothing ever retires (the
+     paper's PolyFlow likewise cannot reclaim resources from younger
+     threads, Section 6). With shares on, younger tasks together hold at
+     most 3/4 of the ROB and at most 1/4 each, so the oldest always keeps
+     a window of a quarter of the machine: without shares a single
+     far-ahead task parks hundreds of completed-but-unretirable entries
+     and strangles the critical task, while shares that are too small
+     leave a task reaching oldest age with its region undispatched,
+     exposing its load misses. *)
+  let young_rob_limit =
+    if cfg.Config.rob_shares then cfg.Config.rob_entries * 3 / 4
+    else cfg.Config.rob_entries - (2 * cfg.Config.width)
+  in
+  let per_task_rob_cap =
+    if cfg.Config.rob_shares then cfg.Config.rob_entries / 4
+    else cfg.Config.rob_entries
+  in
+  let young_sched_limit = cfg.Config.scheduler_entries - cfg.Config.width in
+
+  (* ---- divert queue drain ---- *)
+  let drain_divert () =
+    let budget = ref cfg.Config.width in
+    let oldest_start =
+      match !order with t :: _ -> t.start_idx | [] -> max_int
+    in
+    let remaining = ref [] in
+    List.iter
+      (fun i ->
+        if get_state i <> s_divert then ()
+        else begin
+          (* the oldest task's entries may use the reserved scheduler
+             band, otherwise its drain could deadlock behind younger
+             consumers *)
+          let sched_limit =
+            if tstart.(i) = oldest_start then cfg.Config.scheduler_entries
+            else young_sched_limit
+          in
+          (* hold diverted work until its cross-task producers have
+             completed and none of its producers is still diverted: the
+             divert queue's whole purpose is to keep earlier-task-
+             dependent chains out of the scheduler (Section 3.1),
+             otherwise young tasks squat in the shared scheduler and
+             strangle the oldest task *)
+          (* a cross-task consumer is released once its producer has
+             begun executing — it reaches the scheduler just in time for
+             wakeup; chains whose head is still parked stay in the FIFO *)
+          let ok_producer p =
+            p < 0
+            || (((not cfg.Config.divert_chains) || get_state p <> s_divert)
+               && ((not (cross i p)) || get_state p >= s_issued))
+          in
+          let mem_ok =
+            kind.(i) <> k_load || memsrc.(i) < 0
+            || Bytes.get synced i <> '\001'
+            || ok_producer memsrc.(i)
+          in
+          if
+            !budget > 0
+            && !sched_count < sched_limit
+            && ok_producer eff_src1.(i) && ok_producer eff_src2.(i) && mem_ok
+          then begin
+            set_state i s_sched;
+            scheduler := i :: !scheduler;
+            incr sched_count;
+            decr divert_count;
+            decr budget
+          end
+          else remaining := i :: !remaining
+        end)
+      (* FIFO (= dependence) order, so a ready chain drains up to
+         [width] members in one cycle instead of rippling one per cycle *)
+      !divertq;
+    divertq := List.rev !remaining
+  in
+
+  (* ---- dispatch ---- *)
+  let dispatch () =
+    let budget = ref cfg.Config.width in
+    let oldest = match !order with t :: _ -> Some t | [] -> None in
+    List.iter
+      (fun t ->
+        let is_oldest = match oldest with Some o -> o == t | None -> false in
+        let rob_limit =
+          if is_oldest then cfg.Config.rob_entries else young_rob_limit
+        in
+        let sched_limit =
+          if is_oldest then cfg.Config.scheduler_entries else young_sched_limit
+        in
+        let continue_ = ref true in
+        while !continue_ && !budget > 0 && t.dispatch_ptr < t.fetch_ptr do
+          let i = t.dispatch_ptr in
+          if get_state i <> s_fetched then continue_ := false
+          else if fetch_c.(i) + cfg.Config.frontend_depth > !now then
+            continue_ := false
+          else if !rob_count >= rob_limit then continue_ := false
+          else if (not is_oldest) && t.rob_used >= per_task_rob_cap then
+            continue_ := false
+          else begin
+            (* decide: divert or scheduler — an instruction diverts when
+               a producer is in an earlier task and not yet completed, or
+               is itself still parked in the divert queue (dependent
+               chains follow their head into the FIFO) *)
+            let blocked_producer p =
+              p >= 0
+              && ((cfg.Config.divert_chains && get_state p = s_divert)
+                 || (cross i p && get_state p < s_issued))
+            in
+            let reg_divert =
+              blocked_producer eff_src1.(i) || blocked_producer eff_src2.(i)
+            in
+            let mem_divert =
+              if kind.(i) = k_load && cross i memsrc.(i) then
+                if Pf_predict.Store_sets.predict_sync store_sets ~load_pc:pc.(i)
+                then begin
+                  Bytes.set synced i '\001';
+                  not (completed memsrc.(i))
+                end
+                else begin
+                  Bytes.set synced i '\000';
+                  false
+                end
+              else false
+            in
+            if reg_divert || mem_divert then begin
+              if !divert_count < cfg.Config.divert_entries then begin
+                set_state i s_divert;
+                divertq := !divertq @ [ i ];
+                incr divert_count;
+                incr rob_count;
+                t.rob_used <- t.rob_used + 1;
+                incr m_diverted;
+                t.dispatch_ptr <- i + 1;
+                decr budget
+              end
+              else continue_ := false (* divert queue full: stall this task *)
+            end
+            else if !sched_count < sched_limit then begin
+              set_state i s_sched;
+              scheduler := i :: !scheduler;
+              incr sched_count;
+              incr rob_count;
+              t.rob_used <- t.rob_used + 1;
+              t.dispatch_ptr <- i + 1;
+              decr budget
+            end
+            else continue_ := false (* scheduler full *)
+          end
+        done)
+      !order
+  in
+
+  (* ---- spawning ---- *)
+  let insert_after t t' =
+    let rec go = function
+      | [] -> [ t' ]
+      | x :: rest when x == t -> x :: t' :: rest
+      | x :: rest -> x :: go rest
+    in
+    order := go !order
+  in
+  let try_spawn t i candidates =
+    (* Only the tail task spawns, one successor each (Section 3.2) —
+       unless split spawning (the paper's Section 6 future work) is on,
+       in which case any task may split its own region so that nested
+       hammocks can all be spawned past. *)
+    let is_tail = match List.rev !order with tail :: _ -> tail == t | [] -> false in
+    if (is_tail || cfg.Config.split_spawning)
+       && List.length !order < cfg.Config.max_tasks
+    then
+      let rec attempt = function
+        | [] -> ()
+        | (sp : Pf_core.Spawn_point.t) :: rest -> (
+            match
+              Pf_trace.Occurrence.next_after input.occurrence
+                ~pc:sp.Pf_core.Spawn_point.target_pc ~index:i
+            with
+            | Some j
+              when j < t.end_idx
+                   && j - i >= cfg.Config.min_task_instrs
+                   && j - i <= cfg.Config.max_spawn_distance
+                   && profitable sp.Pf_core.Spawn_point.at_pc ->
+                let t' =
+                  make_task !next_task_id j t.end_idx
+                    (!now + cfg.Config.spawn_latency)
+                    sp.Pf_core.Spawn_point.at_pc t.history t.ras
+                in
+                (stats_for sp.Pf_core.Spawn_point.at_pc).spawned <-
+                  (stats_for sp.Pf_core.Spawn_point.at_pc).spawned + 1;
+                incr next_task_id;
+                t.end_idx <- j;
+                insert_after t t';
+                incr m_tasks;
+                if List.length !order > !m_max_live then
+                  m_max_live := List.length !order;
+                bump_spawn sp.Pf_core.Spawn_point.category
+            | _ -> attempt rest)
+      in
+      attempt candidates
+  in
+
+  let fall_through_of i =
+    [ { Pf_core.Spawn_point.at_pc = pc.(i);
+        target_pc = pc.(i) + Pf_isa.Instr.bytes_per_instr;
+        category = Pf_core.Spawn_point.Proc_ft } ]
+  in
+  let spawn_candidates_at i =
+    let static = Pf_core.Hint_cache.find input.hints ~pc:pc.(i) in
+    let dyn =
+      if input.use_rec_pred then
+        match kind.(i) with
+        | k when k = k_branch || k = k_ind_jump -> (
+            match Pf_predict.Reconvergence.predict recpred ~branch_pc:pc.(i) with
+            | Some r ->
+                [ { Pf_core.Spawn_point.at_pc = pc.(i); target_pc = r;
+                    category = Pf_core.Spawn_point.Other } ]
+            | None -> [])
+        | k when k = k_call || k = k_ind_call -> fall_through_of i
+        | _ -> []
+      else if input.use_dmt then
+        (* Dynamic Multi-Threading heuristics (Akkary and Driscoll,
+           Section 5 of the paper): the static address after a backward
+           branch approximates the loop fall-through; the return address
+           of a call is the procedure fall-through. *)
+        match kind.(i) with
+        | k when k = k_branch ->
+            let backward =
+              match dyns.(i).Pf_trace.Dyn.instr with
+              | Pf_isa.Instr.Br (_, _, _, target) -> target < pc.(i)
+              | _ -> false
+            in
+            if backward then
+              [ { Pf_core.Spawn_point.at_pc = pc.(i);
+                  target_pc = pc.(i) + Pf_isa.Instr.bytes_per_instr;
+                  category = Pf_core.Spawn_point.Loop_ft } ]
+            else []
+        | k when k = k_call || k = k_ind_call -> fall_through_of i
+        | _ -> []
+      else []
+    in
+    static @ dyn
+  in
+
+  (* ---- fetch ---- *)
+  let fetch () =
+    (* unblock tasks whose mispredicted branch has resolved *)
+    List.iter
+      (fun t ->
+        if t.blocked_branch >= 0 then begin
+          let b = t.blocked_branch in
+          if completed b then begin
+            let resume =
+              max (complete_c.(b) + 1)
+                (fetch_c.(b) + cfg.Config.min_mispredict_penalty)
+            in
+            if !now >= resume then t.blocked_branch <- -1
+          end
+        end)
+      !order;
+    let fetchable t =
+      t.blocked_branch < 0 && t.stall_until <= !now && t.fetch_ptr < t.end_idx
+      && t.fetch_ptr - t.dispatch_ptr < cfg.Config.fetch_buffer
+    in
+    let eligible = List.filter fetchable !order in
+    (* biased ICount (as in Threaded Multiple-Path Execution): the oldest
+       task — the one global retirement depends on — always fetches
+       first; remaining fetch slots go to the younger task with the
+       fewest in-flight instructions *)
+    let by_icount l =
+      List.sort
+        (fun a b -> compare (a.inflight, a.start_idx) (b.inflight, b.start_idx))
+        l
+    in
+    let chosen =
+      if not cfg.Config.biased_fetch then
+        by_icount eligible
+        |> List.filteri (fun k _ -> k < cfg.Config.fetch_tasks_per_cycle)
+      else
+        match eligible with
+        | [] -> []
+        | first :: rest ->
+            first
+            :: (by_icount rest
+               |> List.filteri (fun k _ -> k < cfg.Config.fetch_tasks_per_cycle - 1))
+    in
+    if chosen <> [] then begin
+      (* shared fetch bandwidth: the priority task takes what it can this
+         cycle (it stops at a taken branch anyway); later tasks consume
+         the leftover slots *)
+      let budget = ref cfg.Config.width in
+      List.iter
+        (fun t ->
+          let continue_ = ref true in
+          while !continue_ && !budget > 0 && fetchable t do
+            let i = t.fetch_ptr in
+            (* I-cache access on line change *)
+            let line = pc.(i) land line_mask in
+            if line <> t.last_line then begin
+              t.last_line <- line;
+              let latency = Pf_cache.Hierarchy.fetch_latency hier pc.(i) in
+              if latency > 0 then begin
+                t.stall_until <- !now + latency;
+                continue_ := false
+              end
+            end;
+            if !continue_ then begin
+              set_state i s_fetched;
+              fetch_c.(i) <- !now;
+              tstart.(i) <- t.start_idx;
+              (* control-equivalent sp: cross-task sp sources are ready *)
+              if cfg.Config.sp_hint then begin
+                if eff_src1.(i) >= 0 && eff_src1.(i) < t.start_idx
+                   && Bytes.get src1_sp i = '\001'
+                then eff_src1.(i) <- -1;
+                if eff_src2.(i) >= 0 && eff_src2.(i) < t.start_idx
+                   && Bytes.get src2_sp i = '\001'
+                then eff_src2.(i) <- -1
+              end;
+              t.inflight <- t.inflight + 1;
+              t.fetch_ptr <- i + 1;
+              decr budget;
+              (* The Task Spawn Unit watches the fetch stream. For
+                 conditional branches the spawn happens after the outcome
+                 has been shifted into the history, so the
+                 control-equivalent task inherits a history that includes
+                 the branch it jumps over; for calls it happens before
+                 the RAS push, since the spawned task lives at the return
+                 point where that entry has already been consumed. *)
+              let spawn_here () =
+                match spawn_candidates_at i with
+                | [] -> ()
+                | cands -> try_spawn t i cands
+              in
+              if kind.(i) <> k_branch && kind.(i) <> k_call then spawn_here ();
+              (* control-flow prediction *)
+              (match kind.(i) with
+              | k when k = k_branch ->
+                  let history =
+                    if cfg.Config.shared_history then !shared_hist else t.history
+                  in
+                  let predicted =
+                    Pf_predict.Gshare.predict_with gshare ~history ~pc:pc.(i)
+                  in
+                  Pf_predict.Gshare.update_with gshare ~history ~pc:pc.(i)
+                    ~taken:taken.(i);
+                  let next =
+                    Pf_predict.Gshare.shift gshare ~history ~taken:taken.(i)
+                  in
+                  if cfg.Config.shared_history then shared_hist := next
+                  else t.history <- next;
+                  spawn_here ();
+                  if predicted <> taken.(i) then begin
+                    incr m_branch_mp;
+                    t.blocked_branch <- i;
+                    continue_ := false
+                  end
+                  else if taken.(i) then continue_ := false
+                    (* one taken branch per task per cycle *)
+              | k when k = k_jump -> continue_ := false
+              | k when k = k_call ->
+                  spawn_here ();
+                  Pf_predict.Ras.push t.ras (pc.(i) + Pf_isa.Instr.bytes_per_instr);
+                  continue_ := false
+              | k when k = k_return ->
+                  (match Pf_predict.Ras.pop t.ras with
+                  | Some target when target = next_pc.(i) -> ()
+                  | Some _ | None ->
+                      incr m_ret_mp;
+                      t.blocked_branch <- i);
+                  continue_ := false
+              | k when k = k_ind_jump || k = k_ind_call ->
+                  if k = k_ind_call then
+                    Pf_predict.Ras.push t.ras (pc.(i) + Pf_isa.Instr.bytes_per_instr);
+                  let predicted = Pf_predict.Indirect.predict indirect ~pc:pc.(i) in
+                  Pf_predict.Indirect.update indirect ~pc:pc.(i) ~target:next_pc.(i);
+                  (match predicted with
+                  | Some tg when tg = next_pc.(i) -> ()
+                  | Some _ | None ->
+                      incr m_ind_mp;
+                      t.blocked_branch <- i);
+                  continue_ := false
+              | _ -> ())
+            end
+          done)
+        chosen
+    end
+  in
+
+  (* ---- self-check: validate the resource counters against a recount
+     of the pipeline state (enabled with PF_CHECK=1; used by tests) ---- *)
+  let self_check () =
+    let rob = ref 0 and sched = ref 0 and divert = ref 0 in
+    for i = 0 to n - 1 do
+      let st = get_state i in
+      if st = s_divert || st = s_sched || st = s_issued then incr rob;
+      if st = s_sched then incr sched;
+      if st = s_divert then incr divert
+    done;
+    if !rob <> !rob_count || !sched <> !sched_count || !divert <> !divert_count
+    then
+      failwith
+        (Printf.sprintf
+           "Engine self-check failed at cycle %d: rob %d/%d sched %d/%d             divert %d/%d"
+           !now !rob !rob_count !sched !sched_count !divert !divert_count);
+    for i = 0 to !retire_ptr - 1 do
+      if get_state i <> s_retired then
+        failwith
+          (Printf.sprintf
+             "Engine self-check failed: unretired instruction %d below the               retire pointer %d"
+             i !retire_ptr)
+    done;
+    (* task regions must partition the unretired window in order *)
+    ignore
+      (List.fold_left
+         (fun prev_end t ->
+           if t.start_idx <> prev_end then
+             failwith "Engine self-check failed: task regions not contiguous";
+           t.end_idx)
+         (match !order with t :: _ -> t.start_idx | [] -> 0)
+         !order)
+  in
+  let checking =
+    match Sys.getenv_opt "PF_CHECK" with Some s when s <> "" -> true | _ -> false
+  in
+  (* ---- main loop ---- *)
+  let debug = Sys.getenv_opt "PF_DEBUG" <> None in
+  let stall_by_state = Array.make 8 0 in
+  let stall_issued_kind = Array.make 16 0 in
+  let m_stall_frontend = ref 0 and m_stall_divert = ref 0 in
+  let m_stall_sched = ref 0 and m_stall_exec = ref 0 in
+  let acc_rob = ref 0 and acc_sched = ref 0 and acc_oldest_rob = ref 0 in
+  let acc_oldest_sched_head = ref 0 in
+  let watchdog = cfg.Config.max_cycles_per_instr * n in
+  while !retire_ptr < n do
+    (if !retire_ptr < n then
+       let i = !retire_ptr in
+       if not (completed i) then begin
+         let st = get_state i in
+         if st = s_divert then incr m_stall_divert
+         else if st = s_sched then incr m_stall_sched
+         else if st = s_issued then incr m_stall_exec
+         else incr m_stall_frontend;
+         if debug then begin
+           stall_by_state.(st) <- stall_by_state.(st) + 1;
+           if st = s_issued then
+             stall_issued_kind.(kind.(i)) <- stall_issued_kind.(kind.(i)) + 1
+         end
+       end);
+    (if debug then begin
+       acc_rob := !acc_rob + !rob_count;
+       acc_sched := !acc_sched + !sched_count;
+       match !order with
+       | t :: _ ->
+           acc_oldest_rob := !acc_oldest_rob + t.rob_used;
+           acc_oldest_sched_head := !acc_oldest_sched_head
+             + (t.dispatch_ptr - max t.start_idx !retire_ptr)
+       | [] -> ()
+     end);
+    retire ();
+    issue ();
+    drain_divert ();
+    dispatch ();
+    fetch ();
+    incr now;
+    if checking && !now land 63 = 0 then self_check ();
+    if !now > watchdog then
+      failwith
+        (Printf.sprintf "Engine: watchdog at cycle %d (retired %d of %d)" !now
+           !retire_ptr n)
+  done;
+  { Metrics.instructions = n;
+    cycles = !now;
+    branch_mispredicts = !m_branch_mp;
+    indirect_mispredicts = !m_ind_mp;
+    return_mispredicts = !m_ret_mp;
+    spawns = Hashtbl.fold (fun c v acc -> (c, v) :: acc) spawn_counts [];
+    squashes = !m_squashes;
+    squashed_instrs = !m_squashed;
+    diverted = !m_diverted;
+    tasks_spawned = !m_tasks;
+    max_live_tasks = !m_max_live;
+    l1i_misses = Pf_cache.Hierarchy.l1i_misses hier;
+    l1d_misses = Pf_cache.Hierarchy.l1d_misses hier;
+    l2_misses = Pf_cache.Hierarchy.l2_misses hier;
+    stall_frontend = !m_stall_frontend;
+    stall_divert = !m_stall_divert;
+    stall_sched = !m_stall_sched;
+    stall_exec = !m_stall_exec }
+  |> fun metrics ->
+  if debug then
+    Printf.eprintf
+      "PF_DEBUG retire-stall cycles by head state: none=%d fetched=%d \
+       divert=%d sched=%d issued=%d\n"
+      stall_by_state.(s_none) stall_by_state.(s_fetched)
+      stall_by_state.(s_divert) stall_by_state.(s_sched)
+      stall_by_state.(s_issued);
+  if debug then
+    Printf.eprintf
+      "PF_DEBUG issued-stall by kind: plain=%d load=%d store=%d branch=%d call=%d ret=%d ind=%d\n"
+      stall_issued_kind.(k_plain) stall_issued_kind.(k_load)
+      stall_issued_kind.(k_store) stall_issued_kind.(k_branch)
+      stall_issued_kind.(k_call) stall_issued_kind.(k_return)
+      (stall_issued_kind.(k_ind_jump) + stall_issued_kind.(k_ind_call));
+  if debug then
+    Hashtbl.iter
+      (fun at_pc (st : spawn_stats) ->
+        Printf.eprintf
+          "PF_DEBUG spawn point %04x: spawned=%d work=%d early=%d frac=%.2f squashed=%d suppressed=%d\n"
+          at_pc st.spawned st.work st.work_early
+          (if st.work > 0 then float_of_int st.work_early /. float_of_int st.work
+           else Float.nan)
+          st.squashed st.suppressed)
+      spawn_stats;
+  if debug && !now > 0 then
+    Printf.eprintf
+      "PF_DEBUG avg occupancy: rob=%.1f sched=%.1f oldest_rob=%.1f oldest_window=%.1f\n"
+      (float_of_int !acc_rob /. float_of_int !now)
+      (float_of_int !acc_sched /. float_of_int !now)
+      (float_of_int !acc_oldest_rob /. float_of_int !now)
+      (float_of_int !acc_oldest_sched_head /. float_of_int !now);
+  metrics

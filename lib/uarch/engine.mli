@@ -1,0 +1,40 @@
+(** Unified cycle-level timing model (Figure 7).
+
+    The engine replays a captured execution window (the architectural
+    oracle's correct path) through a parameterised pipeline:
+
+    - frontend: per-task fetch with gshare + RAS + indirect-target
+      prediction, at most one taken branch per task per cycle, I-cache
+      stalls, and misprediction stalls that block {e only the task
+      containing the branch} — younger control-equivalent tasks keep
+      fetching, which is where PolyFlow's advantage comes from;
+    - the Task Spawn Unit: when the tail task fetches a PC with a hint
+      (static hint cache, or the reconvergence predictor under the
+      dynamic policy), a new task starts at the next dynamic occurrence
+      of the target PC (located with the trace, as in Section 3.2);
+    - backend: shared ROB/scheduler/FUs; inter-task register consumers
+      are diverted until their producers dispatch (divert queue);
+      inter-task loads either synchronise through the store-set
+      predictor or speculate — a speculative load issuing before its
+      producing store completes squashes its task and all younger ones;
+    - in-order retirement across tasks, which also trains the
+      reconvergence predictor.
+
+    With [max_tasks = 1] and no hints this is exactly the superscalar
+    baseline. Wrong-path instructions are modelled as fetch stalls
+    rather than fetched-and-squashed work; see DESIGN.md. *)
+
+type input = {
+  config : Config.t;
+  trace : Pf_trace.Tracer.t;        (** with dependence info filled in *)
+  occurrence : Pf_trace.Occurrence.t;
+  hints : Pf_core.Hint_cache.t;     (** static spawn points *)
+  use_rec_pred : bool;              (** add dynamic reconvergence spawns *)
+  use_dmt : bool;                   (** add DMT fall-through heuristics
+                                        (Section 5 related work) *)
+}
+
+(** Run to completion (every window instruction retired).
+    @raise Failure if the watchdog trips (a scheduling deadlock — a bug,
+    not a workload property). *)
+val simulate : input -> Metrics.t

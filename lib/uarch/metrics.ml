@@ -1,0 +1,46 @@
+type t = {
+  instructions : int;
+  cycles : int;
+  branch_mispredicts : int;
+  indirect_mispredicts : int;
+  return_mispredicts : int;
+  spawns : (Pf_core.Spawn_point.category * int) list;
+  squashes : int;
+  squashed_instrs : int;
+  diverted : int;
+  tasks_spawned : int;
+  max_live_tasks : int;
+  l1i_misses : int;
+  l1d_misses : int;
+  l2_misses : int;
+  stall_frontend : int;
+  stall_divert : int;
+  stall_sched : int;
+  stall_exec : int;
+}
+
+let stall_cycles t =
+  t.stall_frontend + t.stall_divert + t.stall_sched + t.stall_exec
+
+let ipc t =
+  if t.cycles = 0 then 0. else float_of_int t.instructions /. float_of_int t.cycles
+
+let speedup_pct ~baseline t = 100. *. (ipc t /. ipc baseline -. 1.)
+
+let total_spawns t = List.fold_left (fun acc (_, n) -> acc + n) 0 t.spawns
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>instructions      %d@,cycles            %d@,IPC               %.3f@,\
+     branch mispred.   %d@,indirect mispred. %d@,return mispred.   %d@,\
+     tasks spawned     %d@,max live tasks    %d@,squashes          %d \
+     (%d instrs)@,diverted          %d@,cache misses      L1I %d, L1D %d, L2 %d@,retire stalls     frontend %d, divert %d, sched %d, exec %d@,spawns            %a@]"
+    t.instructions t.cycles (ipc t) t.branch_mispredicts t.indirect_mispredicts
+    t.return_mispredicts t.tasks_spawned t.max_live_tasks t.squashes
+    t.squashed_instrs t.diverted t.l1i_misses t.l1d_misses t.l2_misses
+    t.stall_frontend t.stall_divert t.stall_sched t.stall_exec
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       (fun ppf (c, n) ->
+         Format.fprintf ppf "%s=%d" (Pf_core.Spawn_point.category_name c) n))
+    t.spawns

@@ -1,0 +1,40 @@
+(** Measurements produced by one simulation run. *)
+
+type t = {
+  instructions : int;
+  cycles : int;
+  branch_mispredicts : int;
+  indirect_mispredicts : int;
+  return_mispredicts : int;
+  spawns : (Pf_core.Spawn_point.category * int) list;
+      (** dynamic spawn counts by category ([Other] holds the
+          reconvergence-predictor spawns of the dynamic policy) *)
+  squashes : int;          (** memory-dependence violations *)
+  squashed_instrs : int;   (** instructions refetched because of them *)
+  diverted : int;          (** instructions that passed through the divert queue *)
+  tasks_spawned : int;
+  max_live_tasks : int;
+  l1i_misses : int;
+  l1d_misses : int;
+  l2_misses : int;
+  (* retirement-stall attribution: cycles in which nothing could retire,
+     classified by the state of the oldest unretired instruction *)
+  stall_frontend : int; (** not yet dispatched (fetch/mispredict/I-cache) *)
+  stall_divert : int;   (** parked in the divert queue *)
+  stall_sched : int;    (** in the scheduler waiting for operands *)
+  stall_exec : int;     (** issued, waiting for its latency (loads mostly) *)
+}
+
+(** Share of stall cycles spent executing (vs waiting on the frontend),
+    a quick read on whether a run is latency- or fetch-bound. *)
+val stall_cycles : t -> int
+
+val ipc : t -> float
+
+(** [speedup_pct ~baseline t] — percent speedup of [t] over [baseline]
+    (Figures 9, 10, 12 report exactly this). *)
+val speedup_pct : baseline:t -> t -> float
+
+val total_spawns : t -> int
+
+val pp : Format.formatter -> t -> unit

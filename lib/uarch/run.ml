@@ -1,0 +1,35 @@
+type prepared = {
+  program : Pf_isa.Program.t;
+  trace : Pf_trace.Tracer.t;
+  occurrence : Pf_trace.Occurrence.t;
+  all_spawns : Pf_core.Spawn_point.t list;
+}
+
+let prepare program ~setup ~fast_forward ~window =
+  let machine = Pf_isa.Machine.create program in
+  setup machine;
+  let trace = Pf_trace.Tracer.capture machine ~fast_forward ~window in
+  if Pf_trace.Tracer.length trace = 0 then
+    invalid_arg "Run.prepare: empty window (program halted during fast-forward?)";
+  Pf_trace.Depinfo.compute trace;
+  let occurrence = Pf_trace.Occurrence.build trace in
+  let all_spawns = Pf_core.Classify.spawn_points program in
+  { program; trace; occurrence; all_spawns }
+
+let simulate ?config prepared ~policy =
+  let config =
+    match (config, policy) with
+    | Some c, _ -> c
+    | None, Pf_core.Policy.No_spawn -> Config.superscalar
+    | None, _ -> Config.polyflow
+  in
+  let selected = Pf_core.Policy.select policy prepared.all_spawns in
+  Engine.simulate
+    { Engine.config;
+      trace = prepared.trace;
+      occurrence = prepared.occurrence;
+      hints = Pf_core.Hint_cache.of_spawns selected;
+      use_rec_pred = Pf_core.Policy.uses_reconvergence_predictor policy;
+      use_dmt = Pf_core.Policy.uses_dmt_heuristics policy }
+
+let baseline prepared = simulate prepared ~policy:Pf_core.Policy.No_spawn

@@ -1,0 +1,30 @@
+(** End-to-end orchestration: execute a program on the architectural
+    oracle, capture a window, analyse dependences and spawn points once,
+    then simulate any number of policies against the shared window (the
+    paper's methodology: same dynamic instructions for every
+    configuration, Section 3.2). *)
+
+type prepared = {
+  program : Pf_isa.Program.t;
+  trace : Pf_trace.Tracer.t;
+  occurrence : Pf_trace.Occurrence.t;
+  all_spawns : Pf_core.Spawn_point.t list; (** every potential spawn point *)
+}
+
+(** [prepare program ~setup ~fast_forward ~window] creates the machine,
+    applies [setup] (memory/data initialisation), fast-forwards, captures
+    the window and computes dependence and occurrence indexes.
+    @raise Invalid_argument if the captured window is empty. *)
+val prepare :
+  Pf_isa.Program.t ->
+  setup:(Pf_isa.Machine.t -> unit) ->
+  fast_forward:int ->
+  window:int ->
+  prepared
+
+(** Simulate one policy. [config] defaults to {!Config.polyflow} except
+    for [Policy.No_spawn], which defaults to {!Config.superscalar}. *)
+val simulate : ?config:Config.t -> prepared -> policy:Pf_core.Policy.t -> Metrics.t
+
+(** Superscalar baseline ([Policy.No_spawn] on {!Config.superscalar}). *)
+val baseline : prepared -> Metrics.t

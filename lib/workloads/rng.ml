@@ -1,0 +1,23 @@
+type t = { mutable state : int64 }
+
+let create ~seed =
+  let s = Int64.of_int (if seed = 0 then 0x9E3779B9 else seed) in
+  { state = Int64.logor s 1L }
+
+let next t =
+  let open Int64 in
+  let x = t.state in
+  let x = logxor x (shift_left x 13) in
+  let x = logxor x (shift_right_logical x 7) in
+  let x = logxor x (shift_left x 17) in
+  t.state <- x;
+  mul x 0x2545F4914F6CDD1DL
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  let v = Int64.to_int (Int64.shift_right_logical (next t) 2) in
+  v mod bound
+
+let bool_p t p =
+  let threshold = int_of_float (p *. 1024.) in
+  int t 1024 < threshold

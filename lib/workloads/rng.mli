@@ -1,0 +1,17 @@
+(** Deterministic xorshift64* generator for workload data. Every
+    workload seeds its own instance, so runs are reproducible and
+    independent of OCaml's [Random]. *)
+
+type t
+
+val create : seed:int -> t
+
+(** Next raw 64-bit value. *)
+val next : t -> int64
+
+(** Uniform integer in [0, bound). @raise Invalid_argument if bound <= 0. *)
+val int : t -> int -> int
+
+(** Bernoulli draw: true with probability [p] (approximated at 1/1024
+    granularity). *)
+val bool_p : t -> float -> bool

@@ -1,0 +1,16 @@
+let builders =
+  [ W_bzip2.workload; W_crafty.workload; W_gap.workload; W_gcc.workload;
+    W_gzip.workload; W_mcf.workload; W_parser.workload; W_perlbmk.workload;
+    W_twolf.workload; W_vortex.workload; W_vpr_place.workload;
+    W_vpr_route.workload ]
+
+let all () = List.map (fun f -> f ()) builders
+
+let find name =
+  List.find_map
+    (fun f ->
+      let w = f () in
+      if w.Workload.name = name then Some w else None)
+    builders
+
+let names = List.map (fun f -> (f ()).Workload.name) builders

@@ -1,0 +1,9 @@
+(** The benchmark suite: one workload per SPEC2000 integer benchmark the
+    paper evaluates, in the paper's figure order. *)
+
+val all : unit -> Workload.t list
+
+(** Lookup by name ("twolf", "vpr.route", ...). *)
+val find : string -> Workload.t option
+
+val names : string list

@@ -1,0 +1,522 @@
+(* Tests for pf_mini: compile Mini programs and check that executing
+   them on the architectural simulator produces oracle results. *)
+
+open Pf_isa
+open Pf_mini
+open Pf_mini.Ast
+
+let case name f = Alcotest.test_case name `Quick f
+
+(* Run a compiled program to completion and return (machine, compiled). *)
+let run_program ?(max_instrs = 2_000_000) prog =
+  let c = Compile.compile prog in
+  let m = Machine.create c.Compile.program in
+  ignore (Machine.run m ~max_instrs ~on_event:ignore);
+  Alcotest.(check bool) "halted" true (Machine.halted m);
+  (m, c)
+
+(* The convention used by all tests: the program stores its result in the
+   global scalar "result". *)
+let result_of (m, c) = Machine.read_i64 m (c.Compile.address_of "result")
+
+let globals_with_result extra = ("result", 8) :: extra
+
+let test_arith () =
+  let prog =
+    { funcs =
+        [ { name = "main"; params = [];
+            body =
+              [ Let ("x", i 7);
+                Let ("y", (v "x" *: i 6) -: i 2);
+                Set ("result", (v "y" /: i 4) +: (v "y" %: i 4));
+                Return None ] } ];
+      globals = globals_with_result [] }
+  in
+  (* y = 40; 40/4 + 40%4 = 10 *)
+  Alcotest.(check int64) "arith" 10L (result_of (run_program prog))
+
+let test_comparisons () =
+  let checks =
+    [ (i 3 <: i 5, 1L); (i 5 <: i 3, 0L); (i 3 <=: i 3, 1L); (i 4 <=: i 3, 0L);
+      (i 5 >: i 3, 1L); (i 3 >: i 5, 0L); (i 3 >=: i 3, 1L); (i 2 >=: i 3, 0L);
+      (i 3 ==: i 3, 1L); (i 3 ==: i 4, 0L); (i 3 <>: i 4, 1L); (i 3 <>: i 3, 0L);
+      (i (-1) <: i 1, 1L) ]
+  in
+  List.iteri
+    (fun k (e, expected) ->
+      let prog =
+        { funcs = [ { name = "main"; params = []; body = [ Set ("result", e) ] } ];
+          globals = globals_with_result [] }
+      in
+      Alcotest.(check int64)
+        (Printf.sprintf "cmp %d" k)
+        expected
+        (result_of (run_program prog)))
+    checks
+
+let test_while_loop () =
+  (* sum 1..100 = 5050 *)
+  let prog =
+    { funcs =
+        [ { name = "main"; params = [];
+            body =
+              [ Let ("s", i 0) ]
+              @ for_ "k" ~init:(i 1) ~cond:(v "k" <=: i 100) ~step:(v "k" +: i 1)
+                  [ Set ("s", v "s" +: v "k") ]
+              @ [ Set ("result", v "s") ] } ];
+      globals = globals_with_result [] }
+  in
+  Alcotest.(check int64) "sum" 5050L (result_of (run_program prog))
+
+let test_while_zero_iterations () =
+  let prog =
+    { funcs =
+        [ { name = "main"; params = [];
+            body =
+              [ Set ("result", i 42);
+                While (v "result" <: i 0, [ Set ("result", i 0) ]) ] } ];
+      globals = globals_with_result [] }
+  in
+  Alcotest.(check int64) "guard skips loop" 42L (result_of (run_program prog))
+
+let test_do_while_runs_once () =
+  let prog =
+    { funcs =
+        [ { name = "main"; params = [];
+            body =
+              [ Set ("result", i 0);
+                Do_while ([ Set ("result", v "result" +: i 1) ], Const 0L) ] } ];
+      globals = globals_with_result [] }
+  in
+  Alcotest.(check int64) "one iteration" 1L (result_of (run_program prog))
+
+let test_if_else () =
+  let branchy x =
+    { funcs =
+        [ { name = "main"; params = [];
+            body =
+              [ Let ("x", i x);
+                If
+                  ( v "x" >: i 10,
+                    [ Set ("result", i 1) ],
+                    [ If (v "x" >: i 5, [ Set ("result", i 2) ], [ Set ("result", i 3) ]) ]
+                  ) ] } ];
+      globals = globals_with_result [] }
+  in
+  Alcotest.(check int64) "x=20" 1L (result_of (run_program (branchy 20)));
+  Alcotest.(check int64) "x=7" 2L (result_of (run_program (branchy 7)));
+  Alcotest.(check int64) "x=1" 3L (result_of (run_program (branchy 1)))
+
+let test_break () =
+  let prog =
+    { funcs =
+        [ { name = "main"; params = [];
+            body =
+              [ Let ("k", i 0);
+                While
+                  ( Const 1L,
+                    [ Set ("k", v "k" +: i 1);
+                      If (v "k" ==: i 13, [ Break ], []) ] );
+                Set ("result", v "k") ] } ];
+      globals = globals_with_result [] }
+  in
+  Alcotest.(check int64) "break at 13" 13L (result_of (run_program prog))
+
+let test_functions_and_recursion () =
+  (* fib(15) = 610, the naive recursive way *)
+  let prog =
+    { funcs =
+        [ { name = "main"; params = [];
+            body = [ Let ("r", Call ("fib", [ i 15 ])); Set ("result", v "r") ] };
+          { name = "fib"; params = [ "n" ];
+            body =
+              [ If (v "n" <: i 2, [ Return (Some (v "n")) ], []);
+                Let ("a", Call ("fib", [ v "n" -: i 1 ]));
+                Let ("b", Call ("fib", [ v "n" -: i 2 ]));
+                Return (Some (v "a" +: v "b")) ] } ];
+      globals = globals_with_result [] }
+  in
+  Alcotest.(check int64) "fib 15" 610L (result_of (run_program prog))
+
+let test_four_params () =
+  let prog =
+    { funcs =
+        [ { name = "main"; params = [];
+            body =
+              [ Let ("r", Call ("weigh", [ i 1; i 2; i 3; i 4 ]));
+                Set ("result", v "r") ] };
+          { name = "weigh"; params = [ "a"; "b"; "c"; "d" ];
+            body =
+              [ Return
+                  (Some
+                     (v "a" +: (v "b" *: i 10) +: (v "c" *: i 100) +: (v "d" *: i 1000)))
+              ] } ];
+      globals = globals_with_result [] }
+  in
+  Alcotest.(check int64) "4321" 4321L (result_of (run_program prog))
+
+let test_global_arrays () =
+  (* write arr[k] = k*k for k<10, then sum *)
+  let prog =
+    { funcs =
+        [ { name = "main"; params = [];
+            body =
+              for_ "k" ~init:(i 0) ~cond:(v "k" <: i 10) ~step:(v "k" +: i 1)
+                [ st8 (idx8 (Addr "arr") (v "k")) (v "k" *: v "k") ]
+              @ [ Let ("s", i 0) ]
+              @ for_ "k2" ~init:(i 0) ~cond:(v "k2" <: i 10) ~step:(v "k2" +: i 1)
+                  [ Set ("s", v "s" +: ld8 (idx8 (Addr "arr") (v "k2"))) ]
+              @ [ Set ("result", v "s") ] } ];
+      globals = globals_with_result [ ("arr", 80) ] }
+  in
+  (* 0+1+4+...+81 = 285 *)
+  Alcotest.(check int64) "sum of squares" 285L (result_of (run_program prog))
+
+let test_byte_and_word_access () =
+  let prog =
+    { funcs =
+        [ { name = "main"; params = [];
+            body =
+              [ st1 (Addr "buf") (i 200);   (* 200 as signed byte = -56 *)
+                st4 (Addr "buf" +: i 4) (i (-7));
+                Set ("result", ld1 (Addr "buf") +: ld4 (Addr "buf" +: i 4)) ] } ];
+      globals = globals_with_result [ ("buf", 8) ] }
+  in
+  Alcotest.(check int64) "sign extension" (-63L) (result_of (run_program prog))
+
+let test_switch_dispatch () =
+  let dispatcher sel =
+    { funcs =
+        [ { name = "main"; params = [];
+            body =
+              [ Let ("s", i sel);
+                Switch
+                  ( v "s",
+                    [ (0, [ Set ("result", i 100) ]);
+                      (2, [ Set ("result", i 300) ]);
+                      (5, [ Set ("result", i 600) ]) ],
+                    [ Set ("result", i (-1)) ] ) ] } ];
+      globals = globals_with_result [] }
+  in
+  Alcotest.(check int64) "case 0" 100L (result_of (run_program (dispatcher 0)));
+  Alcotest.(check int64) "case 2" 300L (result_of (run_program (dispatcher 2)));
+  Alcotest.(check int64) "case 5" 600L (result_of (run_program (dispatcher 5)));
+  Alcotest.(check int64) "gap -> default" (-1L) (result_of (run_program (dispatcher 3)));
+  Alcotest.(check int64) "out of range -> default" (-1L)
+    (result_of (run_program (dispatcher 77)));
+  Alcotest.(check int64) "negative -> default" (-1L)
+    (result_of (run_program (dispatcher (-3))))
+
+let test_switch_has_indirect_jump () =
+  let prog =
+    { funcs =
+        [ { name = "main"; params = [];
+            body =
+              [ Switch (i 1, [ (0, []); (1, []) ], [ Set ("result", i 1) ]) ] } ];
+      globals = globals_with_result [] }
+  in
+  let c = Compile.compile prog in
+  let p = c.Compile.program in
+  let has_indirect = ref false in
+  Array.iter
+    (fun instr -> if Instr.is_indirect_jump instr then has_indirect := true)
+    p.Program.code;
+  Alcotest.(check bool) "indirect jump emitted" true !has_indirect;
+  Alcotest.(check bool) "targets declared" true (p.Program.indirect_targets <> [])
+
+let test_spilled_locals () =
+  (* more than 8 locals forces stack slots; all must still work *)
+  let names = List.init 12 (fun k -> Printf.sprintf "x%d" k) in
+  let lets = List.mapi (fun k x -> Let (x, i (k + 1))) names in
+  let sum = List.fold_left (fun acc x -> acc +: v x) (i 0) names in
+  let prog =
+    { funcs = [ { name = "main"; params = []; body = lets @ [ Set ("result", sum) ] } ];
+      globals = globals_with_result [] }
+  in
+  (* 1+2+...+12 = 78 *)
+  Alcotest.(check int64) "12 locals" 78L (result_of (run_program prog))
+
+let test_global_scalar_read_write () =
+  let prog =
+    { funcs =
+        [ { name = "main"; params = [];
+            body = [ Set ("counter", i 5); Call_stmt ("bump", []); Set ("result", v "counter") ] };
+          { name = "bump"; params = [];
+            body = [ Set ("counter", v "counter" +: i 37); Return None ] } ];
+      globals = globals_with_result [ ("counter", 8) ] }
+  in
+  Alcotest.(check int64) "global visible across calls" 42L
+    (result_of (run_program prog))
+
+let test_unknown_variable_rejected () =
+  let prog =
+    { funcs = [ { name = "main"; params = []; body = [ Set ("nope", i 1) ] } ];
+      globals = [] }
+  in
+  try
+    ignore (Compile.compile prog);
+    Alcotest.fail "expected failure"
+  with Invalid_argument msg ->
+    Alcotest.(check bool) "mentions the name" true
+      (String.length msg > 0 && String.length msg < 200)
+
+let test_unknown_function_rejected () =
+  let prog =
+    { funcs = [ { name = "main"; params = []; body = [ Call_stmt ("ghost", []) ] } ];
+      globals = [] }
+  in
+  try
+    ignore (Compile.compile prog);
+    Alcotest.fail "expected failure"
+  with Invalid_argument _ -> ()
+
+let test_nested_call_rejected () =
+  let prog =
+    { funcs =
+        [ { name = "main"; params = [];
+            body = [ Let ("x", Call ("f", []) +: i 1) ] };
+          { name = "f"; params = []; body = [ Return (Some (i 1)) ] } ];
+      globals = [] }
+  in
+  try
+    ignore (Compile.compile prog);
+    Alcotest.fail "expected failure"
+  with Invalid_argument _ -> ()
+
+(* Property: Mini arithmetic agrees with Int64 arithmetic. *)
+let prop_arith_matches_int64 =
+  let gen = QCheck.(pair (int_range (-1000) 1000) (int_range (-1000) 1000)) in
+  QCheck.Test.make ~name:"compiled arithmetic matches Int64 oracle" ~count:60 gen
+    (fun (a, b) ->
+      let expr = ((i a +: i b) *: i 3) -: (i a &: i b) in
+      let expected =
+        Int64.(sub (mul (add (of_int a) (of_int b)) 3L)
+                 (logand (of_int a) (of_int b)))
+      in
+      let prog =
+        { funcs = [ { name = "main"; params = []; body = [ Set ("result", expr) ] } ];
+          globals = globals_with_result [] }
+      in
+      result_of (run_program prog) = expected)
+
+(* Property: loops compute the same sums as OCaml folds. *)
+let prop_loop_sum =
+  QCheck.Test.make ~name:"loop sums match fold oracle" ~count:30
+    QCheck.(int_range 0 200)
+    (fun n ->
+      let prog =
+        { funcs =
+            [ { name = "main"; params = [];
+                body =
+                  [ Let ("s", i 0) ]
+                  @ for_ "k" ~init:(i 0) ~cond:(v "k" <: i n) ~step:(v "k" +: i 1)
+                      [ Set ("s", v "s" +: (v "k" *: v "k")) ]
+                  @ [ Set ("result", v "s") ] } ];
+          globals = globals_with_result [] }
+      in
+      let expected =
+        List.fold_left (fun acc k -> Int64.add acc (Int64.of_int (k * k))) 0L
+          (List.init n Fun.id)
+      in
+      result_of (run_program prog) = expected)
+
+(* ------------------------------------------------------------------ *)
+(* Differential testing: random Mini programs must compute the same
+   values when compiled and executed on the ISA machine as when run by
+   the reference interpreter. *)
+
+let arr_slots = 8
+
+(* expressions over locals a, b, c and the global array *)
+let rec gen_expr depth =
+  let open QCheck.Gen in
+  if depth = 0 then
+    oneof
+      [ map (fun n -> i n) (int_range (-100) 100);
+        oneofl [ v "a"; v "b"; v "c" ] ]
+  else
+    let sub = gen_expr (depth - 1) in
+    oneof
+      [ map (fun n -> i n) (int_range (-100) 100);
+        oneofl [ v "a"; v "b"; v "c" ];
+        map2 (fun a b -> a +: b) sub sub;
+        map2 (fun a b -> a -: b) sub sub;
+        map2 (fun a b -> a *: b) sub sub;
+        map2 (fun a b -> a &: b) sub sub;
+        map2 (fun a b -> a |: b) sub sub;
+        map2 (fun a b -> a ^: b) sub sub;
+        map2 (fun a b -> a /: b) sub sub;
+        map2 (fun a b -> a %: b) sub sub;
+        map (fun e -> e <<: i 3) sub;
+        map (fun e -> e >>: i 2) sub;
+        map2 (fun a b -> a <: b) sub sub;
+        map2 (fun a b -> a ==: b) sub sub;
+        map2 (fun a b -> a >=: b) sub sub;
+        map (fun e -> ld8 (Addr "arr" +: ((e &: i (arr_slots - 1)) <<: i 3))) sub ]
+
+let gen_stmts =
+  let open QCheck.Gen in
+  let var = oneofl [ "a"; "b"; "c"; "g1" ] in
+  let fresh_counter =
+    let n = ref 0 in
+    fun () ->
+      incr n;
+      Printf.sprintf "k%d_" !n
+  in
+  let slot e = Addr "arr" +: ((e &: i (arr_slots - 1)) <<: i 3) in
+  let rec gen_stmt ~in_loop depth =
+    let expr = gen_expr 2 in
+    let block ?(in_loop = in_loop) d =
+      list_size (int_range 1 3) (gen_stmt ~in_loop d)
+    in
+    if depth = 0 then map2 (fun x e -> Set (x, e)) var expr
+    else
+      oneof
+        ([ map2 (fun x e -> Set (x, e)) var expr;
+           map2 (fun a e -> st8 (slot a) e) expr expr;
+           (* narrow stores and sign-extending narrow loads *)
+           map2 (fun a e -> st4 (slot a) e) expr expr;
+           map2 (fun a e -> st1 (slot a +: (a &: i 7)) e) expr expr;
+           map2 (fun x a -> Set (x, ld4 (slot a))) var expr;
+           map2 (fun x a -> Set (x, ld1 (slot a +: (a &: i 7)))) var expr;
+           map3 (fun c t e -> If (c, t, e)) expr (block (depth - 1))
+             (block (depth - 1));
+           (* bounded loop: a dedicated fresh counter per loop, so nested
+              loops cannot interfere and every loop terminates *)
+           map2
+             (fun n body ->
+               let k = fresh_counter () in
+               If
+                 ( Const 1L,
+                   [ Let (k, i 0);
+                     While (v k <: i n, body @ [ Set (k, v k +: i 1) ]) ],
+                   [] ))
+             (int_range 1 5)
+             (block ~in_loop:true (depth - 1));
+           (* bounded do-while through the same counter trick *)
+           map2
+             (fun n body ->
+               let k = fresh_counter () in
+               If
+                 ( Const 1L,
+                   [ Let (k, i 0);
+                     Do_while
+                       (body @ [ Set (k, v k +: i 1) ], v k <: i n) ],
+                   [] ))
+             (int_range 1 4)
+             (block ~in_loop:true (depth - 1));
+           map2
+             (fun sel cases ->
+               Switch
+                 ( sel &: i 3,
+                   List.mapi (fun k b -> (k, b)) cases,
+                   [ Set ("g1", i (-1)) ] ))
+             expr
+             (list_size (int_range 1 3) (block (depth - 1)));
+           map (fun e -> Let ("t_", Call ("helper", [ e ]))) expr;
+           map2
+             (fun e1 e2 -> Let ("t_", Call ("mix3", [ e1; e2; v "a" ])))
+             expr expr ]
+        @
+        if in_loop then
+          [ map (fun c -> If (c, [ Break ], [])) expr ]
+        else [])
+  in
+  list_size (int_range 3 8) (gen_stmt ~in_loop:false 2)
+
+let gen_program =
+  QCheck.Gen.map
+    (fun stmts ->
+      { funcs =
+          [ { name = "main"; params = [];
+              body =
+                [ Let ("a", i 3); Let ("b", i (-5)); Let ("c", i 7) ]
+                @ stmts
+                @ [ Set ("result", (v "a" +: v "b") ^: v "c") ] };
+            { name = "helper"; params = [ "x" ];
+              body =
+                [ If
+                    ( v "x" <: i 0,
+                      [ Return (Some (i 0 -: v "x")) ],
+                      [ Return (Some ((v "x" *: i 3) +: i 1)) ] ) ] };
+            { name = "mix3"; params = [ "x"; "y"; "z" ];
+              body =
+                [ Let ("t", (v "x" ^: v "y") +: (v "z" <<: i 1));
+                  Return (Some (v "t" &: i 0xffff)) ] } ];
+        globals = [ ("result", 8); ("g1", 8); ("arr", 8 * arr_slots) ] })
+    gen_stmts
+
+let prop_compiled_matches_interpreter =
+  QCheck.Test.make ~name:"compiled code matches the reference interpreter"
+    ~count:120
+    (QCheck.make gen_program)
+    (fun prog ->
+      let compiled = Compile.compile prog in
+      let m = Machine.create compiled.Compile.program in
+      ignore (Machine.run m ~max_instrs:2_000_000 ~on_event:ignore);
+      if not (Machine.halted m) then false
+      else
+        let reference = Pf_mini.Interp.run prog in
+        let globals_agree =
+          List.for_all
+            (fun (name, v) ->
+              Machine.read_i64 m (compiled.Compile.address_of name) = v)
+            reference.Pf_mini.Interp.globals
+        in
+        let arr_base = compiled.Compile.address_of "arr" in
+        let arr_agree =
+          List.for_all
+            (fun k ->
+              Machine.read_i64 m (arr_base + (8 * k))
+              = reference.Pf_mini.Interp.read_mem (arr_base + (8 * k)))
+            (List.init arr_slots Fun.id)
+        in
+        globals_agree && arr_agree)
+
+let test_interp_rejects_unknown () =
+  let prog =
+    { funcs = [ { name = "main"; params = []; body = [ Set ("result", v "ghost") ] } ];
+      globals = [ ("result", 8) ] }
+  in
+  try
+    ignore (Interp.run prog);
+    Alcotest.fail "expected failure"
+  with Invalid_argument _ -> ()
+
+let test_interp_fuel () =
+  let prog =
+    { funcs =
+        [ { name = "main"; params = []; body = [ While (Const 1L, [ Set ("x", i 1) ]) ] } ];
+      globals = [] }
+  in
+  try
+    ignore (Interp.run ~fuel:1000 prog);
+    Alcotest.fail "expected out-of-fuel"
+  with Invalid_argument _ -> ()
+
+let suite =
+  [ ( "mini.compile",
+      [ case "arithmetic" test_arith;
+        case "comparisons" test_comparisons;
+        case "while loop" test_while_loop;
+        case "while guard" test_while_zero_iterations;
+        case "do-while runs once" test_do_while_runs_once;
+        case "if-else chains" test_if_else;
+        case "break" test_break;
+        case "recursion" test_functions_and_recursion;
+        case "four parameters" test_four_params;
+        case "global arrays" test_global_arrays;
+        case "byte/word access" test_byte_and_word_access;
+        case "switch dispatch" test_switch_dispatch;
+        case "switch emits indirect jump" test_switch_has_indirect_jump;
+        case "spilled locals" test_spilled_locals;
+        case "global scalars" test_global_scalar_read_write;
+        case "unknown variable rejected" test_unknown_variable_rejected;
+        case "unknown function rejected" test_unknown_function_rejected;
+        case "nested call rejected" test_nested_call_rejected;
+        QCheck_alcotest.to_alcotest prop_arith_matches_int64;
+        QCheck_alcotest.to_alcotest prop_loop_sum ] );
+    ( "mini.interp",
+      [ case "rejects unknown identifiers" test_interp_rejects_unknown;
+        case "fuel bound" test_interp_fuel;
+        QCheck_alcotest.to_alcotest prop_compiled_matches_interpreter ] ) ]

@@ -1,0 +1,217 @@
+(* Tests for pf_trace: window capture, dependence analysis, occurrence
+   index. *)
+
+open Pf_isa
+open Pf_trace
+
+let case name f = Alcotest.test_case name `Quick f
+
+(* A small program with register and memory dependences:
+     li   t0, 0x4000
+     li   t1, 7
+     sw   t1, 0(t0)       ; store
+     lw   t2, 0(t0)       ; load depends on the store
+     add  t3, t2, t1      ; depends on load and li
+     halt *)
+let dep_program () =
+  let a = Asm.create () in
+  Asm.proc a "main";
+  Asm.li a Reg.t0 0x4000L;
+  Asm.li a Reg.t1 7L;
+  Asm.store a Instr.W Reg.t1 Reg.t0 0;
+  Asm.load a Instr.W Reg.t2 Reg.t0 0;
+  Asm.alu a Instr.Add Reg.t3 Reg.t2 Reg.t1;
+  Asm.halt a;
+  Asm.assemble a ~entry:"main"
+
+let capture ?(fast_forward = 0) ?(window = 1000) p =
+  let m = Machine.create p in
+  let tr = Tracer.capture m ~fast_forward ~window in
+  Depinfo.compute tr;
+  tr
+
+let test_capture_full_run () =
+  let tr = capture (dep_program ()) in
+  Alcotest.(check int) "six instructions" 6 (Tracer.length tr);
+  Alcotest.(check int) "nothing skipped" 0 tr.Tracer.fast_forwarded
+
+let test_register_producers () =
+  let tr = capture (dep_program ()) in
+  let d = tr.Tracer.dyns in
+  (* store (index 2) reads t1 (index 1) and t0 (index 0);
+     uses are sorted by register number so t1 (data) then t0? t1=9 > t0=8,
+     so src1 <- producer of t0, src2 <- producer of t1 *)
+  Alcotest.(check int) "store src1" 0 d.(2).Dyn.src1;
+  Alcotest.(check int) "store src2" 1 d.(2).Dyn.src2;
+  (* add (index 4) reads t2 (load, index 3) and t1 (index 1) *)
+  Alcotest.(check int) "add src1" 1 d.(4).Dyn.src1;
+  Alcotest.(check int) "add src2" 3 d.(4).Dyn.src2
+
+let test_memory_producer () =
+  let tr = capture (dep_program ()) in
+  let d = tr.Tracer.dyns in
+  Alcotest.(check int) "load fed by store" 2 d.(3).Dyn.memsrc;
+  Alcotest.(check int) "store has no memsrc" (-1) d.(2).Dyn.memsrc
+
+let test_partial_overlap () =
+  (* byte store into the middle of a loaded word must be seen *)
+  let a = Asm.create () in
+  Asm.proc a "main";
+  Asm.li a Reg.t0 0x4000L;
+  Asm.store a Instr.D Reg.zero Reg.t0 0; (* idx 1: full word *)
+  Asm.li a Reg.t1 0xffL;
+  Asm.store a Instr.B Reg.t1 Reg.t0 3;   (* idx 3: one byte inside *)
+  Asm.load a Instr.D Reg.t2 Reg.t0 0;    (* idx 4: reads both *)
+  Asm.halt a;
+  let tr = capture (Asm.assemble a ~entry:"main") in
+  Alcotest.(check int) "youngest overlapping store wins" 3
+    tr.Tracer.dyns.(4).Dyn.memsrc
+
+let test_before_window_producer () =
+  (* with fast-forward, producers before the window read as -1 *)
+  let a = Asm.create () in
+  Asm.proc a "main";
+  Asm.li a Reg.t0 5L;      (* will be fast-forwarded past *)
+  Asm.alui a Instr.Add Reg.t1 Reg.t0 1L;
+  Asm.halt a;
+  let tr = capture ~fast_forward:1 (Asm.assemble a ~entry:"main") in
+  Alcotest.(check int) "ff count" 1 tr.Tracer.fast_forwarded;
+  Alcotest.(check int) "producer outside window" (-1) tr.Tracer.dyns.(0).Dyn.src1
+
+let loop_program n =
+  let a = Asm.create () in
+  Asm.proc a "main";
+  Asm.li a Reg.t0 (Int64.of_int n);
+  Asm.label a "head";
+  Asm.alui a Instr.Add Reg.t0 Reg.t0 (-1L);
+  Asm.br a Instr.Gtz Reg.t0 Reg.zero "head";
+  Asm.halt a;
+  Asm.assemble a ~entry:"main"
+
+let test_occurrence_index () =
+  let tr = capture (loop_program 5) in
+  let occ = Occurrence.build tr in
+  (* head block body pc = 0x1004 occurs 5 times *)
+  Alcotest.(check int) "five iterations" 5 (Occurrence.count occ ~pc:0x1004);
+  Alcotest.(check (option int)) "first after 0" (Some 3)
+    (Occurrence.next_after occ ~pc:0x1004 ~index:1);
+  Alcotest.(check (option int)) "after index 3" (Some 5)
+    (Occurrence.next_after occ ~pc:0x1004 ~index:3);
+  Alcotest.(check (option int)) "after the last" None
+    (Occurrence.next_after occ ~pc:0x1004 ~index:9);
+  Alcotest.(check (option int)) "unknown pc" None
+    (Occurrence.next_after occ ~pc:0x9999 ~index:0)
+
+(* Properties over random loop programs. *)
+let prop_producers_precede_consumers =
+  QCheck.Test.make ~name:"producer index < consumer index" ~count:40
+    QCheck.(int_range 1 40)
+    (fun n ->
+      let tr = capture (loop_program n) in
+      let ok = ref true in
+      Array.iteri
+        (fun i d ->
+          let chk p = if p >= 0 && p >= i then ok := false in
+          chk d.Dyn.src1;
+          chk d.Dyn.src2;
+          chk d.Dyn.memsrc)
+        tr.Tracer.dyns;
+      !ok)
+
+let prop_producer_defines_register =
+  QCheck.Test.make ~name:"producers define a register read by the consumer"
+    ~count:40
+    QCheck.(int_range 1 40)
+    (fun n ->
+      let tr = capture (loop_program n) in
+      let d = tr.Tracer.dyns in
+      let ok = ref true in
+      Array.iter
+        (fun (c : Dyn.t) ->
+          let uses = Pf_isa.Instr.uses c.Dyn.instr in
+          let chk p =
+            if p >= 0 then
+              match Pf_isa.Instr.def d.(p).Dyn.instr with
+              | Some r -> if not (List.mem r uses) then ok := false
+              | None -> ok := false
+          in
+          chk c.Dyn.src1;
+          chk c.Dyn.src2)
+        d;
+      !ok)
+
+let prop_occurrence_complete =
+  QCheck.Test.make ~name:"occurrence index finds every instance" ~count:30
+    QCheck.(int_range 1 30)
+    (fun n ->
+      let tr = capture (loop_program n) in
+      let occ = Occurrence.build tr in
+      let d = tr.Tracer.dyns in
+      (* walking next_after from -1 must enumerate all indices of a pc *)
+      let pc = 0x1004 in
+      let rec walk acc idx =
+        match Occurrence.next_after occ ~pc ~index:idx with
+        | Some j -> walk (j :: acc) j
+        | None -> List.rev acc
+      in
+      let found = walk [] (-1) in
+      let expected = ref [] in
+      Array.iteri (fun i (x : Dyn.t) -> if x.Dyn.pc = pc then expected := i :: !expected) d;
+      found = List.rev !expected)
+
+(* Limits: the oracle can never be slower than the single flow, and a
+   straight dependence chain pins both to IPC ~1. *)
+let test_limits_ordering () =
+  let tr = capture (loop_program 50) in
+  let sf = Limits.single_flow_ipc tr in
+  let df = Limits.dataflow_ipc tr in
+  Alcotest.(check bool)
+    (Printf.sprintf "oracle %.2f >= single-flow %.2f" df sf)
+    true (df >= sf -. 1e-9);
+  Alcotest.(check bool) "both positive" true (sf > 0. && df > 0.)
+
+let test_limits_serial_chain () =
+  (* t0 <- t0 + 1 repeated: a pure chain, oracle IPC ~1 *)
+  let a = Asm.create () in
+  Asm.proc a "main";
+  Asm.li a Reg.t0 0L;
+  for _ = 1 to 50 do
+    Asm.alui a Instr.Add Reg.t0 Reg.t0 1L
+  done;
+  Asm.halt a;
+  let tr = capture (Asm.assemble a ~entry:"main") in
+  let df = Limits.dataflow_ipc tr in
+  Alcotest.(check bool)
+    (Printf.sprintf "chain oracle IPC %.2f ~ 1" df)
+    true
+    (df > 0.8 && df < 1.3)
+
+let test_limits_parallel_block () =
+  (* 50 independent li instructions: oracle IPC ~ n *)
+  let a = Asm.create () in
+  Asm.proc a "main";
+  for k = 1 to 50 do
+    Asm.li a (8 + (k mod 18)) (Int64.of_int k)
+  done;
+  Asm.halt a;
+  let tr = capture (Asm.assemble a ~entry:"main") in
+  let df = Limits.dataflow_ipc tr in
+  Alcotest.(check bool)
+    (Printf.sprintf "parallel oracle IPC %.1f large" df)
+    true (df > 20.)
+
+let suite =
+  [ ( "trace",
+      [ case "capture full run" test_capture_full_run;
+        case "register producers" test_register_producers;
+        case "memory producer" test_memory_producer;
+        case "partial overlap" test_partial_overlap;
+        case "fast-forwarded producers" test_before_window_producer;
+        case "occurrence index" test_occurrence_index;
+        QCheck_alcotest.to_alcotest prop_producers_precede_consumers;
+        QCheck_alcotest.to_alcotest prop_producer_defines_register;
+        QCheck_alcotest.to_alcotest prop_occurrence_complete ] );
+    ( "trace.limits",
+      [ case "oracle >= single flow" test_limits_ordering;
+        case "serial chain" test_limits_serial_chain;
+        case "parallel block" test_limits_parallel_block ] ) ]
