@@ -5,6 +5,11 @@ test:
 	dune runtest
 bench:
 	dune exec bench/main.exe
+# Tiny 2x2 sweep that validates the JSON pipeline end to end (~seconds).
+bench-smoke:
+	dune exec bench/main.exe -- --smoke
+doc:
+	dune build @doc
 clean:
 	dune clean
-.PHONY: all test bench clean
+.PHONY: all test bench bench-smoke doc clean

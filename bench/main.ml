@@ -2,6 +2,14 @@
    evaluation (Section 4), then runs bechamel micro-benchmarks of the
    analysis passes and the simulator itself.
 
+   All simulations — the workload×policy grid of Figures 9-12 plus the
+   config-variant studies (task scaling, ablations, split spawning,
+   window sensitivity) — are expressed as one Pf_report.Sweep spec list
+   and fanned out over a Domain worker pool (--jobs N). The sweep is
+   deterministic in the job count; --json FILE saves it as a
+   schema-versioned report document that `polyflow_sim report` renders
+   back into the same tables (see docs/REPORT_SCHEMA.md).
+
    Figures reproduced:
      Figure 5  — static distribution of control-equivalent task types
      Figure 8  — pipeline parameters
@@ -9,46 +17,142 @@
      Figure 10 — combinations of heuristics
      Figure 11 — loss when one postdominator category is excluded
      Figure 12 — reconvergence-predictor spawning vs compiler postdominators
-   plus an extension study (task-count scaling) and the micro-benchmarks.
+   plus extension studies (task-count scaling, ablations, split
+   spawning, window sensitivity) and the micro-benchmarks.
 
    Set PF_BENCH_WINDOW to override the per-workload window (useful for a
-   quick smoke run). *)
+   quick smoke run), or use --smoke for the self-checking mini-sweep. *)
 
 open Pf_uarch
+module Sweep = Pf_report.Sweep
+module Table = Pf_report.Table
 
 let window_override =
   Option.map int_of_string (Sys.getenv_opt "PF_BENCH_WINDOW")
 
-type prepared_workload = {
-  wl : Pf_workloads.Workload.t;
-  prep : Run.prepared;
-  results : (string, Metrics.t) Hashtbl.t; (* keyed by policy name *)
+(* ---- command line ---- *)
+
+let jobs = ref (min 8 (Domain.recommended_domain_count ()))
+let json_out = ref ""
+let smoke = ref false
+let no_micro = ref false
+
+let () =
+  Arg.parse
+    [ ("--jobs", Arg.Set_int jobs, "N  worker domains for the sweep (default: cores, max 8)");
+      ("--json", Arg.Set_string json_out, "FILE  save the sweep as a report document");
+      ("--smoke", Arg.Set smoke, "  2-workload x 2-policy self-checking mini-sweep");
+      ("--no-micro", Arg.Set no_micro, "  skip the bechamel micro-benchmarks") ]
+    (fun a -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" a)))
+    "bench/main.exe [--jobs N] [--json FILE] [--smoke] [--no-micro]"
+
+(* ---- the sweep grid ---- *)
+
+let scaling_task_counts = [ 2; 4 ] (* 8 is plain postdoms *)
+
+let ablation_variants =
+  [ ("pure-ICount fetch", "postdoms@icount",
+     { Config.polyflow with Config.biased_fetch = false });
+    ("shared branch history", "postdoms@shared-history",
+     { Config.polyflow with Config.shared_history = true });
+    ("no ROB shares", "postdoms@no-rob-shares",
+     { Config.polyflow with Config.rob_shares = false });
+    ("no divert chains", "postdoms@no-divert-chains",
+     { Config.polyflow with Config.divert_chains = false });
+    ("no sp hint", "postdoms@no-sp-hint",
+     { Config.polyflow with Config.sp_hint = false });
+    ("no profitability feedback", "postdoms@no-feedback",
+     { Config.polyflow with Config.feedback = false });
+    ("spawn distance 4096", "postdoms@dist=4096",
+     { Config.polyflow with Config.max_spawn_distance = 4096 });
+    ("spawn distance 128", "postdoms@dist=128",
+     { Config.polyflow with Config.max_spawn_distance = 128 }) ]
+
+let sensitivity_windows = [ 15_000; 30_000; 60_000 ]
+let sensitivity_workloads = [ "crafty"; "mcf"; "perlbmk"; "twolf" ]
+
+let grid_policies =
+  (* every policy of Figures 9-12 plus the related-work comparison,
+     deduplicated by display name *)
+  let all =
+    Pf_core.Policy.(
+      (No_spawn :: figure9_policies) @ figure10_policies @ figure11_policies
+      @ figure12_policies @ [ Dmt ])
+  in
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun p ->
+      let name = Pf_core.Policy.name p in
+      if Hashtbl.mem seen name then false
+      else begin
+        Hashtbl.add seen name ();
+        true
+      end)
+    all
+
+let full_specs () =
+  let names = Pf_workloads.Suite.names in
+  let per_workload w =
+    List.map (fun p -> Sweep.spec ?window:window_override w p) grid_policies
+    @ List.map
+        (fun c ->
+          Sweep.spec ?window:window_override w Pf_core.Policy.Postdoms
+            ~label:(Printf.sprintf "postdoms@tasks=%d" c)
+            ~config:{ Config.polyflow with Config.max_tasks = c })
+        scaling_task_counts
+    @ List.map
+        (fun (_, label, config) ->
+          Sweep.spec ?window:window_override w Pf_core.Policy.Postdoms ~label
+            ~config)
+        ablation_variants
+    @ [ Sweep.spec ?window:window_override w Pf_core.Policy.Postdoms
+          ~label:"postdoms@split"
+          ~config:{ Config.polyflow with Config.split_spawning = true } ]
+  in
+  let sensitivity =
+    (* pointless under PF_BENCH_WINDOW, which pins every window anyway *)
+    if window_override <> None then []
+    else
+      List.concat_map
+        (fun w ->
+          List.concat_map
+            (fun window ->
+              [ Sweep.spec w Pf_core.Policy.No_spawn ~window
+                  ~label:(Printf.sprintf "superscalar@win=%d" window);
+                Sweep.spec w Pf_core.Policy.Postdoms ~window
+                  ~label:(Printf.sprintf "postdoms@win=%d" window) ])
+            sensitivity_windows)
+        sensitivity_workloads
+  in
+  List.concat_map per_workload names @ sensitivity
+
+(* ---- result access ---- *)
+
+type ctx = {
+  doc : Sweep.t;
+  tbl : (string * string, Sweep.run) Hashtbl.t;
+  names : string list; (* suite order *)
 }
 
-let prepare (wl : Pf_workloads.Workload.t) =
-  let window =
-    match window_override with Some w -> w | None -> wl.Pf_workloads.Workload.window
-  in
-  let prep =
-    Run.prepare wl.Pf_workloads.Workload.program
-      ~setup:wl.Pf_workloads.Workload.setup
-      ~fast_forward:wl.Pf_workloads.Workload.fast_forward ~window
-  in
-  { wl; prep; results = Hashtbl.create 16 }
+let ctx_of doc =
+  let tbl = Hashtbl.create 512 in
+  List.iter
+    (fun (r : Sweep.run) -> Hashtbl.replace tbl (r.Sweep.workload, r.Sweep.label) r)
+    doc.Sweep.runs;
+  { doc; tbl; names = Pf_workloads.Suite.names }
 
-let metrics_for pw policy =
-  let key = Pf_core.Policy.name policy in
-  match Hashtbl.find_opt pw.results key with
-  | Some m -> m
-  | None ->
-      let m = Run.simulate pw.prep ~policy in
-      Hashtbl.replace pw.results key m;
-      m
+let run_exn ctx w label =
+  match Hashtbl.find_opt ctx.tbl (w, label) with
+  | Some r -> r
+  | None -> failwith (Printf.sprintf "missing sweep run %s/%s" w label)
 
-let baseline pw = metrics_for pw Pf_core.Policy.No_spawn
+let metrics ctx w label = (run_exn ctx w label).Sweep.metrics
+let speedup ctx w label = Table.speedup_pct ctx.doc (run_exn ctx w label)
 
-let speedup pw policy =
-  Metrics.speedup_pct ~baseline:(baseline pw) (metrics_for pw policy)
+let avg ctx label =
+  match Table.average_speedup ctx.doc ~label with
+  | Some v -> v
+  | None -> failwith (Printf.sprintf "no runs for label %s" label)
 
 let mean l = List.fold_left ( +. ) 0. l /. float_of_int (List.length l)
 
@@ -60,89 +164,72 @@ let section title =
   print_endline title;
   print_endline (String.make 98 '=')
 
+let speedup_table ctx policies =
+  Format.print_flush ();
+  Table.print_speedup_table ~out:Format.std_formatter ~workloads:ctx.names
+    ~labels:(List.map Pf_core.Policy.name policies)
+    ctx.doc;
+  Format.print_flush ()
+
 (* ------------------------------------------------------------------ *)
 
-let figure5 pws =
+let figure5 () =
   section
     "Figure 5: Static distribution of control-equivalent task types (percent \
      of static spawns)";
-  Printf.printf "%-10s %8s %8s %9s %7s %7s\n" "benchmark" "loopFT" "procFT"
+  Printf.printf "%-10s %8s %8s %9s %7s %8s\n" "benchmark" "loopFT" "procFT"
     "hammocks" "other" "total";
   hr ();
   List.iter
-    (fun pw ->
-      let stats = Pf_core.Static_stats.of_spawns pw.prep.Run.all_spawns in
+    (fun (wl : Pf_workloads.Workload.t) ->
+      let spawns = Pf_core.Classify.spawn_points wl.Pf_workloads.Workload.program in
+      let stats = Pf_core.Static_stats.of_spawns spawns in
       let lf, pf, hm, ot = Pf_core.Static_stats.percentages stats in
-      Printf.printf "%-10s %7.1f%% %7.1f%% %8.1f%% %6.1f%% %7d\n"
-        pw.wl.Pf_workloads.Workload.name lf pf hm ot
+      Printf.printf "%-10s %7.1f%% %7.1f%% %8.1f%% %6.1f%% %8d\n"
+        wl.Pf_workloads.Workload.name lf pf hm ot
         (Pf_core.Static_stats.total stats))
-    pws
+    (Pf_workloads.Suite.all ())
 
 let figure8 () =
   section "Figure 8: Pipeline parameters";
   Format.printf "%a@." Config.pp Config.polyflow
 
-
-let print_speedup_table pws policies =
-  Printf.printf "%-10s" "benchmark";
-  List.iter
-    (fun p -> Printf.printf " %9s" (Pf_core.Policy.name p))
-    policies;
-  Printf.printf "   (SS IPC)\n";
-  hr ();
-  List.iter
-    (fun pw ->
-      Printf.printf "%-10s" pw.wl.Pf_workloads.Workload.name;
-      List.iter (fun p -> Printf.printf " %+8.1f%%" (speedup pw p)) policies;
-      Printf.printf "   (%.2f)\n" (Metrics.ipc (baseline pw)))
-    pws;
-  hr ();
-  Printf.printf "%-10s" "Average";
-  List.iter
-    (fun p ->
-      let avg = mean (List.map (fun pw -> speedup pw p) pws) in
-      Printf.printf " %+8.1f%%" avg)
-    policies;
-  Printf.printf "\n"
-
-let figure9 pws =
+let figure9 ctx =
   section
     "Figure 9: Individual heuristic policies for spawn points (speedup over \
      the 8-wide superscalar)";
-  print_speedup_table pws Pf_core.Policy.figure9_policies;
+  speedup_table ctx Pf_core.Policy.figure9_policies;
   (* the paper's headline: postdoms more than doubles the best heuristic *)
-  let avg p = mean (List.map (fun pw -> speedup pw p) pws) in
   let best_heuristic =
     Pf_core.Policy.figure9_policies
     |> List.filter (fun p -> p <> Pf_core.Policy.Postdoms)
-    |> List.map (fun p -> (Pf_core.Policy.name p, avg p))
+    |> List.map (fun p -> (Pf_core.Policy.name p, avg ctx (Pf_core.Policy.name p)))
     |> List.fold_left (fun (bn, bv) (n, v) -> if v > bv then (n, v) else (bn, bv))
          ("none", neg_infinity)
   in
-  let postdoms = avg Pf_core.Policy.Postdoms in
+  let postdoms = avg ctx "postdoms" in
   Printf.printf
     "\nHeadline: postdoms averages %+.1f%%; best individual heuristic is %s \
      at %+.1f%% (ratio %.2fx; paper reports >2x)\n"
     postdoms (fst best_heuristic) (snd best_heuristic)
     (postdoms /. snd best_heuristic)
 
-let figure10 pws =
+let figure10 ctx =
   section "Figure 10: Combinations of heuristics for spawn points";
-  print_speedup_table pws Pf_core.Policy.figure10_policies;
-  let avg p = mean (List.map (fun pw -> speedup pw p) pws) in
+  speedup_table ctx Pf_core.Policy.figure10_policies;
   let best_combo =
     Pf_core.Policy.figure10_policies
     |> List.filter (fun p -> p <> Pf_core.Policy.Postdoms)
-    |> List.map avg
+    |> List.map (fun p -> avg ctx (Pf_core.Policy.name p))
     |> List.fold_left max neg_infinity
   in
-  let postdoms = avg Pf_core.Policy.Postdoms in
+  let postdoms = avg ctx "postdoms" in
   Printf.printf
     "\nHeadline: postdoms averages %+.1f%% vs best combination %+.1f%% \
      (%+.1f%% more; paper reports ~33%% more)\n"
     postdoms best_combo (postdoms -. best_combo)
 
-let figure11 pws =
+let figure11 ctx =
   section
     "Figure 11: Loss in percent speedup when one category is excluded \
      (normalized to superscalar IPC)";
@@ -154,36 +241,36 @@ let figure11 pws =
   hr ();
   let losses =
     List.map
-      (fun pw ->
-        let full = Metrics.ipc (metrics_for pw Pf_core.Policy.Postdoms) in
-        let ss = Metrics.ipc (baseline pw) in
+      (fun w ->
+        let full = Metrics.ipc (metrics ctx w "postdoms") in
+        let ss = Metrics.ipc (metrics ctx w "superscalar") in
         let row =
           List.map
             (fun p ->
-              let reduced = Metrics.ipc (metrics_for pw p) in
+              let reduced = Metrics.ipc (metrics ctx w (Pf_core.Policy.name p)) in
               100. *. (full -. reduced) /. ss)
             Pf_core.Policy.figure11_policies
         in
-        Printf.printf "%-10s" pw.wl.Pf_workloads.Workload.name;
+        Printf.printf "%-10s" w;
         List.iter (fun l -> Printf.printf " %+16.1f%%" l) row;
         Printf.printf "\n";
         row)
-      pws
+      ctx.names
   in
   hr ();
   Printf.printf "%-10s" "Average";
   List.iteri
     (fun k _ ->
-      let avg = mean (List.map (fun row -> List.nth row k) losses) in
-      Printf.printf " %+16.1f%%" avg)
+      let column = mean (List.map (fun row -> List.nth row k) losses) in
+      Printf.printf " %+16.1f%%" column)
     Pf_core.Policy.figure11_policies;
   Printf.printf "\n"
 
-let figure12 pws =
+let figure12 ctx =
   section
     "Figure 12: Spawning using reconvergence prediction (speedup over the \
      superscalar)";
-  print_speedup_table pws Pf_core.Policy.figure12_policies;
+  speedup_table ctx Pf_core.Policy.figure12_policies;
   Printf.printf
     "\nThe dynamic reconvergence predictor approximates compiler-generated \
      immediate postdominators;\nwarm-up and hard-to-identify reconvergences \
@@ -191,136 +278,86 @@ let figure12 pws =
 
 (* Extension study: how much of the postdoms speedup survives with fewer
    task contexts? (Section 6 discusses the resource limits.) *)
-let task_scaling pws =
+let task_scaling ctx =
   section "Extension: postdoms speedup vs number of task contexts";
-  let counts = [ 2; 4; 8 ] in
+  let columns =
+    List.map (fun c -> (c, Printf.sprintf "postdoms@tasks=%d" c))
+      scaling_task_counts
+    @ [ (8, "postdoms") ]
+  in
   Printf.printf "%-10s" "benchmark";
-  List.iter (fun c -> Printf.printf " %8d" c) counts;
+  List.iter (fun (c, _) -> Printf.printf " %8d" c) columns;
   Printf.printf "\n";
   hr ();
   List.iter
-    (fun pw ->
-      Printf.printf "%-10s" pw.wl.Pf_workloads.Workload.name;
+    (fun w ->
+      Printf.printf "%-10s" w;
       List.iter
-        (fun c ->
-          let cfg = { Config.polyflow with Config.max_tasks = c } in
-          let m = Run.simulate ~config:cfg pw.prep ~policy:Pf_core.Policy.Postdoms in
-          Printf.printf " %+7.1f%%" (Metrics.speedup_pct ~baseline:(baseline pw) m))
-        counts;
+        (fun (_, label) -> Printf.printf " %+7.1f%%" (speedup ctx w label))
+        columns;
       Printf.printf "\n")
-    pws
+    ctx.names
 
 (* Related-work comparison (Section 5): the DMT fall-through heuristics
    against dynamic reconvergence prediction and compiler postdominators. *)
-let related_work pws =
+let related_work ctx =
   section
     "Related work (Section 5): DMT heuristics vs reconvergence prediction vs postdominators";
-  print_speedup_table pws
+  speedup_table ctx
     [ Pf_core.Policy.Dmt; Pf_core.Policy.Rec_pred; Pf_core.Policy.Postdoms ];
   Printf.printf
     "\nDMT approximates loop and procedure fall-throughs dynamically but cannot\njump indirect jumps or hammocks; the paper's techniques capture strictly\nmore spawn opportunities.\n"
 
 (* Limit study in the style of Lam and Wilson (Section 5): the ILP that a
    single flow of control can reach vs a control-independence oracle. *)
-let limit_study pws =
+let limit_study ctx (prepared : Sweep.prepared_window list) =
   section
     "Limit study (Lam & Wilson): single-flow vs control-independence-oracle IPC";
   Printf.printf "%-10s %14s %14s %10s %14s\n" "benchmark" "single-flow"
     "oracle" "ratio" "postdoms IPC";
   hr ();
   List.iter
-    (fun pw ->
-      let sf = Pf_trace.Limits.single_flow_ipc pw.prep.Run.trace in
-      let df = Pf_trace.Limits.dataflow_ipc pw.prep.Run.trace in
-      Printf.printf "%-10s %14.2f %14.2f %9.1fx %14.2f\n"
-        pw.wl.Pf_workloads.Workload.name sf df (df /. sf)
-        (Metrics.ipc (metrics_for pw Pf_core.Policy.Postdoms)))
-    pws;
+    (fun w ->
+      let window = (run_exn ctx w "postdoms").Sweep.window in
+      let pw =
+        List.find
+          (fun (p : Sweep.prepared_window) ->
+            p.Sweep.pw_workload = w && p.Sweep.pw_window = window)
+          prepared
+      in
+      let trace = pw.Sweep.prep.Run.trace in
+      let sf = Pf_trace.Limits.single_flow_ipc trace in
+      let df = Pf_trace.Limits.dataflow_ipc trace in
+      Printf.printf "%-10s %14.3f %14.3f %9.1fx %14.3f\n" w sf df (df /. sf)
+        (Metrics.ipc (metrics ctx w "postdoms")))
+    ctx.names;
   Printf.printf
     "\nExploiting control independence exposes far more ILP than any single      flow of control\ncan reach — the insight control-equivalent spawning      builds on.\n"
-
-(* Future work implemented (Section 6): the paper notes PolyFlow "allows
-   each thread to spawn only a single successor, so PolyFlow can spawn
-   only the outer-most branch of a nested if-then-else". Split spawning
-   lifts that: any task may split its own region. *)
-let future_work pws =
-  section
-    "Future work (Section 6): one successor per task vs split spawning";
-  Printf.printf "%-10s %14s %16s\n" "benchmark" "postdoms" "postdoms+split";
-  hr ();
-  let deltas =
-    List.map
-      (fun pw ->
-        let base = baseline pw in
-        let std = metrics_for pw Pf_core.Policy.Postdoms in
-        let split =
-          Run.simulate
-            ~config:{ Config.polyflow with Config.split_spawning = true }
-            pw.prep ~policy:Pf_core.Policy.Postdoms
-        in
-        let s1 = Metrics.speedup_pct ~baseline:base std in
-        let s2 = Metrics.speedup_pct ~baseline:base split in
-        Printf.printf "%-10s %+13.1f%% %+15.1f%%\n"
-          pw.wl.Pf_workloads.Workload.name s1 s2;
-        s2 -. s1)
-      pws
-  in
-  Printf.printf "\nAverage gain from spawning past nested hammocks: %+.1f points\n"
-    (mean deltas)
-
-(* Methodological robustness: the postdoms result at different window
-   sizes (the paper simulates 100M instructions; we verify the shape is
-   not an artefact of the window length). *)
-let window_sensitivity () =
-  section "Window-size sensitivity: postdoms speedup vs window length";
-  let windows = [ 15_000; 30_000; 60_000 ] in
-  let names = [ "crafty"; "mcf"; "perlbmk"; "twolf" ] in
-  Printf.printf "%-10s" "benchmark";
-  List.iter (fun w -> Printf.printf " %9d" w) windows;
-  Printf.printf "\n";
-  hr ();
-  List.iter
-    (fun name ->
-      let wl = Option.get (Pf_workloads.Suite.find name) in
-      Printf.printf "%-10s" name;
-      List.iter
-        (fun window ->
-          let prep =
-            Run.prepare wl.Pf_workloads.Workload.program
-              ~setup:wl.Pf_workloads.Workload.setup
-              ~fast_forward:wl.Pf_workloads.Workload.fast_forward ~window
-          in
-          let base = Run.baseline prep in
-          let m = Run.simulate prep ~policy:Pf_core.Policy.Postdoms in
-          Printf.printf " %+8.1f%%" (Metrics.speedup_pct ~baseline:base m))
-        windows;
-      Printf.printf "\n")
-    names
 
 (* Where the speedup comes from: retirement-stall attribution for the
    baseline vs postdoms (Section 2.2 says different task types attack
    different stall sources: misprediction penalty, I-cache misses,
    outer-loop parallelism). *)
-let stall_sources pws =
+let stall_sources ctx =
   section
     "Sources of speedup: retirement-stall cycles, superscalar vs postdoms";
-  Printf.printf "%-10s %21s %21s\n" "" "superscalar" "postdoms";
-  Printf.printf "%-10s %10s %10s %10s %10s\n" "benchmark" "frontend" "exec"
+  Printf.printf "%-10s %25s %25s\n" "" "superscalar" "postdoms";
+  Printf.printf "%-10s %12s %12s %12s %12s\n" "benchmark" "frontend" "exec"
     "frontend" "exec";
   hr ();
   List.iter
-    (fun pw ->
-      let b = baseline pw in
-      let p = metrics_for pw Pf_core.Policy.Postdoms in
-      Printf.printf "%-10s %10d %10d %10d %10d\n"
-        pw.wl.Pf_workloads.Workload.name
-        (b.Metrics.stall_frontend + b.Metrics.stall_divert
-        + b.Metrics.stall_sched)
-        b.Metrics.stall_exec
-        (p.Metrics.stall_frontend + p.Metrics.stall_divert
-        + p.Metrics.stall_sched)
-        p.Metrics.stall_exec)
-    pws;
+    (fun w ->
+      let b = metrics ctx w "superscalar" in
+      let p = metrics ctx w "postdoms" in
+      let frontend (m : Metrics.t) =
+        m.Metrics.stall_frontend + m.Metrics.stall_divert + m.Metrics.stall_sched
+      in
+      Printf.printf "%-10s %12s %12s %12s %12s\n" w
+        (Metrics.pretty_int (frontend b))
+        (Metrics.pretty_int b.Metrics.stall_exec)
+        (Metrics.pretty_int (frontend p))
+        (Metrics.pretty_int p.Metrics.stall_exec))
+    ctx.names;
   Printf.printf
     "\nControl-equivalent spawning removes frontend stalls (mispredict \
      repair, taken-branch\nlimits, I-cache misses) and overlaps execution \
@@ -328,52 +365,91 @@ let stall_sources pws =
 
 (* Design ablations: each of the DESIGN.md engine refinements switched
    off individually, measured on the postdoms policy. *)
-let ablations pws =
+let ablations ctx =
   section
     "Design ablations: postdoms average speedup with one refinement disabled";
   let variants =
-    [ ("full engine", Config.polyflow);
-      ("pure-ICount fetch", { Config.polyflow with Config.biased_fetch = false });
-      ("shared branch history", { Config.polyflow with Config.shared_history = true });
-      ("no ROB shares", { Config.polyflow with Config.rob_shares = false });
-      ("no divert chains", { Config.polyflow with Config.divert_chains = false });
-      ("no sp hint", { Config.polyflow with Config.sp_hint = false });
-      ("no profitability feedback", { Config.polyflow with Config.feedback = false });
-      ("spawn distance 4096", { Config.polyflow with Config.max_spawn_distance = 4096 });
-      ("spawn distance 128", { Config.polyflow with Config.max_spawn_distance = 128 }) ]
+    ("full engine", "postdoms")
+    :: List.map (fun (name, label, _) -> (name, label)) ablation_variants
   in
   Printf.printf "%-28s %12s %14s\n" "variant" "avg speedup" "worst bench";
   hr ();
   List.iter
-    (fun (name, cfg) ->
-      let per_bench =
-        List.map
-          (fun pw ->
-            let m =
-              Run.simulate ~config:cfg pw.prep ~policy:Pf_core.Policy.Postdoms
-            in
-            ( pw.wl.Pf_workloads.Workload.name,
-              Metrics.speedup_pct ~baseline:(baseline pw) m ))
-          pws
-      in
-      let avg = mean (List.map snd per_bench) in
+    (fun (name, label) ->
+      let per_bench = List.map (fun w -> (w, speedup ctx w label)) ctx.names in
       let worst =
         List.fold_left
           (fun (bn, bv) (n, v) -> if v < bv then (n, v) else (bn, bv))
           ("", infinity) per_bench
       in
-      Printf.printf "%-28s %+11.1f%% %10s %+5.1f%%\n" name avg (fst worst)
-        (snd worst))
+      Printf.printf "%-28s %+11.1f%% %10s %+5.1f%%\n" name (avg ctx label)
+        (fst worst) (snd worst))
     variants
+
+(* Future work implemented (Section 6): the paper notes PolyFlow "allows
+   each thread to spawn only a single successor, so PolyFlow can spawn
+   only the outer-most branch of a nested if-then-else". Split spawning
+   lifts that: any task may split its own region. *)
+let future_work ctx =
+  section
+    "Future work (Section 6): one successor per task vs split spawning";
+  Printf.printf "%-10s %14s %16s\n" "benchmark" "postdoms" "postdoms+split";
+  hr ();
+  let deltas =
+    List.map
+      (fun w ->
+        let s1 = speedup ctx w "postdoms" in
+        let s2 = speedup ctx w "postdoms@split" in
+        Printf.printf "%-10s %+13.1f%% %+15.1f%%\n" w s1 s2;
+        s2 -. s1)
+      ctx.names
+  in
+  Printf.printf "\nAverage gain from spawning past nested hammocks: %+.1f points\n"
+    (mean deltas)
+
+(* Methodological robustness: the postdoms result at different window
+   sizes (the paper simulates 100M instructions; we verify the shape is
+   not an artefact of the window length). *)
+let window_sensitivity ctx =
+  section "Window-size sensitivity: postdoms speedup vs window length";
+  Printf.printf "%-10s" "benchmark";
+  List.iter (fun w -> Printf.printf " %9d" w) sensitivity_windows;
+  Printf.printf "\n";
+  hr ();
+  List.iter
+    (fun name ->
+      Printf.printf "%-10s" name;
+      List.iter
+        (fun window ->
+          let base =
+            (run_exn ctx name (Printf.sprintf "superscalar@win=%d" window))
+              .Sweep.metrics
+          in
+          let m =
+            (run_exn ctx name (Printf.sprintf "postdoms@win=%d" window))
+              .Sweep.metrics
+          in
+          Printf.printf " %+8.1f%%" (Metrics.speedup_pct ~baseline:base m))
+        sensitivity_windows;
+      Printf.printf "\n")
+    sensitivity_workloads
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the underlying machinery.              *)
 
-let microbenches (pws : prepared_workload list) =
+let microbenches ctx (prepared : Sweep.prepared_window list) =
   section "Micro-benchmarks (bechamel): analysis passes and simulator speed";
   let open Bechamel in
-  let twolf = List.find (fun pw -> pw.wl.Pf_workloads.Workload.name = "twolf") pws in
-  let program = twolf.wl.Pf_workloads.Workload.program in
+  let twolf = Option.get (Pf_workloads.Suite.find "twolf") in
+  let twolf_window = (run_exn ctx "twolf" "postdoms").Sweep.window in
+  let twolf_prep =
+    (List.find
+       (fun (p : Sweep.prepared_window) ->
+         p.Sweep.pw_workload = "twolf" && p.Sweep.pw_window = twolf_window)
+       prepared)
+      .Sweep.prep
+  in
+  let program = twolf.Pf_workloads.Workload.program in
   let pcfgs = Pf_isa.Cfg_build.build_all program in
   let big =
     List.fold_left
@@ -388,7 +464,7 @@ let microbenches (pws : prepared_workload list) =
   (* one Test.make per figure: times regenerating a representative slice
      of that figure (the full tables above are the reference output) *)
   let small_prep =
-    Run.prepare program ~setup:twolf.wl.Pf_workloads.Workload.setup
+    Run.prepare program ~setup:twolf.Pf_workloads.Workload.setup
       ~fast_forward:2_000 ~window:8_000
   in
   let figure_slice name policy =
@@ -422,7 +498,7 @@ let microbenches (pws : prepared_workload list) =
       Test.make ~name:"architectural interpreter (1k instructions)"
         (Staged.stage (fun () ->
              let m = Pf_isa.Machine.create program in
-             twolf.wl.Pf_workloads.Workload.setup m;
+             twolf.Pf_workloads.Workload.setup m;
              ignore (Pf_isa.Machine.skip m 1000))) ]
   in
   let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
@@ -447,12 +523,81 @@ let microbenches (pws : prepared_workload list) =
     tests;
   (* end-to-end simulator throughput, measured directly *)
   let t0 = Unix.gettimeofday () in
-  ignore (Run.simulate twolf.prep ~policy:Pf_core.Policy.Postdoms);
+  ignore (Run.simulate twolf_prep ~policy:Pf_core.Policy.Postdoms);
   let dt = Unix.gettimeofday () -. t0 in
   Printf.printf "  %-50s %10.2f Minstr/s\n" "timing engine throughput (twolf, postdoms)"
-    (float_of_int (Pf_trace.Tracer.length twolf.prep.Run.trace) /. dt /. 1e6)
+    (float_of_int (Pf_trace.Tracer.length twolf_prep.Run.trace) /. dt /. 1e6)
 
-let () =
+(* ------------------------------------------------------------------ *)
+(* Smoke mode: a tiny sweep that checks the report pipeline end to     *)
+(* end with byte-deterministic output (the expect test in test/ diffs  *)
+(* it against test/smoke.expected).                                    *)
+
+let smoke_specs =
+  List.concat_map
+    (fun w ->
+      [ Sweep.spec w Pf_core.Policy.No_spawn ~window:4_000;
+        Sweep.spec w Pf_core.Policy.Postdoms ~window:4_000 ])
+    [ "gzip"; "mcf" ]
+
+let metrics_fingerprint (runs : Sweep.run list) =
+  String.concat "\n"
+    (List.map
+       (fun (r : Sweep.run) ->
+         Pf_report.Json.to_string (Pf_report.Codec.metrics_to_json r.Sweep.metrics))
+       runs)
+
+let run_smoke () =
+  let check name ok detail =
+    Printf.printf "%s: %s\n" name (if ok then "ok" else "FAIL " ^ detail);
+    ok
+  in
+  Printf.printf "smoke sweep: 2 workloads x 2 policies, window 4000\n";
+  let t0 = Unix.gettimeofday () in
+  let runs, _ = Sweep.execute ~jobs:4 smoke_specs in
+  let doc =
+    Sweep.document ~tool:"bench/main.exe --smoke" ~jobs:4
+      ~wall_s:(Unix.gettimeofday () -. t0)
+      runs
+  in
+  Printf.printf "schema_version %d, runs %d\n"
+    doc.Sweep.manifest.Pf_report.Manifest.schema_version
+    (List.length doc.Sweep.runs);
+  let reparsed =
+    Sweep.of_json (Pf_report.Json.of_string (Pf_report.Json.to_string_pretty (Sweep.to_json doc)))
+  in
+  let round_trip_ok =
+    List.for_all2
+      (fun (a : Sweep.run) (b : Sweep.run) ->
+        a.Sweep.metrics = b.Sweep.metrics
+        && a.Sweep.config = b.Sweep.config
+        && a.Sweep.workload = b.Sweep.workload
+        && a.Sweep.label = b.Sweep.label)
+      doc.Sweep.runs reparsed.Sweep.runs
+  in
+  let csv = Sweep.to_csv doc in
+  let arity line = List.length (String.split_on_char ',' line) in
+  let csv_lines = List.filter (fun l -> l <> "") (String.split_on_char '\n' csv) in
+  let csv_ok =
+    match csv_lines with
+    | header :: rows ->
+        List.length rows = List.length runs
+        && List.for_all (fun r -> arity r = arity header) rows
+    | [] -> false
+  in
+  let runs_seq, _ = Sweep.execute ~jobs:1 smoke_specs in
+  let det_ok = metrics_fingerprint runs = metrics_fingerprint runs_seq in
+  let ok1 = check "json round-trip" round_trip_ok "(reparsed document differs)" in
+  let ok2 = check "csv arity" csv_ok "(header/row arity mismatch)" in
+  let ok3 = check "determinism jobs=1 vs jobs=4" det_ok "(metric values differ)" in
+  let all_ok = ok1 && ok2 && ok3 in
+  if !json_out <> "" then Sweep.save !json_out doc;
+  Printf.printf "smoke: %s\n" (if all_ok then "PASS" else "FAIL");
+  exit (if all_ok then 0 else 1)
+
+(* ------------------------------------------------------------------ *)
+
+let run_full () =
   let t_start = Unix.gettimeofday () in
   print_endline
     "PolyFlow reproduction: regenerating the evaluation of \"Exploiting \
@@ -460,30 +605,56 @@ let () =
   (match window_override with
   | Some w -> Printf.printf "(window override: %d instructions)\n" w
   | None -> ());
-  Printf.printf "\nPreparing %d workloads...\n%!" (List.length Pf_workloads.Suite.names);
-  let pws =
-    List.map
-      (fun wl ->
-        let pw = prepare wl in
-        Printf.printf "  %-10s %7d instructions in window, %3d static spawn points\n%!"
-          wl.Pf_workloads.Workload.name
-          (Pf_trace.Tracer.length pw.prep.Run.trace)
-          (List.length pw.prep.Run.all_spawns);
-        pw)
-      (Pf_workloads.Suite.all ())
+  let specs = full_specs () in
+  Printf.printf "\nSweeping %d runs over %d workloads (%d jobs)...\n%!"
+    (List.length specs)
+    (List.length Pf_workloads.Suite.names)
+    !jobs;
+  let progress ~done_ ~total =
+    Printf.eprintf "\r  sweep: %d/%d" done_ total;
+    if done_ = total then Printf.eprintf "\n";
+    flush stderr
   in
+  let runs, prepared = Sweep.execute ~progress ~jobs:!jobs specs in
+  let sweep_wall = Unix.gettimeofday () -. t_start in
+  let doc =
+    Sweep.document
+      ~tool:
+        (Printf.sprintf "bench/main.exe --jobs %d%s" !jobs
+           (if !json_out = "" then "" else " --json " ^ !json_out))
+      ~jobs:!jobs ~wall_s:sweep_wall runs
+  in
+  let ctx = ctx_of doc in
+  Printf.printf "Sweep done in %.1f s:\n" sweep_wall;
+  List.iter
+    (fun w ->
+      let r = run_exn ctx w "postdoms" in
+      Printf.printf "  %-10s %9s instructions in window, %3d static spawn points\n"
+        w
+        (Metrics.pretty_int r.Sweep.instructions)
+        r.Sweep.static_spawns)
+    ctx.names;
   figure8 ();
-  figure5 pws;
-  figure9 pws;
-  figure10 pws;
-  figure11 pws;
-  figure12 pws;
-  related_work pws;
-  limit_study pws;
-  task_scaling pws;
-  stall_sources pws;
-  ablations pws;
-  future_work pws;
-  window_sensitivity ();
-  microbenches pws;
+  figure5 ();
+  figure9 ctx;
+  figure10 ctx;
+  figure11 ctx;
+  figure12 ctx;
+  related_work ctx;
+  limit_study ctx prepared;
+  task_scaling ctx;
+  stall_sources ctx;
+  ablations ctx;
+  future_work ctx;
+  if window_override = None then window_sensitivity ctx;
+  if !json_out <> "" then begin
+    Sweep.save !json_out doc;
+    Printf.printf "\nWrote %d runs to %s (schema %d); render with:\n  dune exec \
+                   bin/polyflow_sim.exe -- report %s\n"
+      (List.length doc.Sweep.runs) !json_out Pf_report.Manifest.schema_version
+      !json_out
+  end;
+  if not !no_micro then microbenches ctx prepared;
   Printf.printf "\nTotal bench time: %.1f s\n" (Unix.gettimeofday () -. t_start)
+
+let () = if !smoke then run_smoke () else run_full ()

@@ -2,6 +2,7 @@
 
    Subcommands:
      run        simulate a workload under one or all spawn policies
+     report     render tables from a saved BENCH_*.json report document
      list       list the available workloads
      disasm     disassemble a workload binary
      spawns     show classified spawn points and Figure-5 statistics
@@ -11,41 +12,10 @@
 
    Examples:
      polyflow_sim run -w twolf -p postdoms
-     polyflow_sim run -w mcf --all-policies --window 30000
+     polyflow_sim run -w mcf --all-policies --window 30000 --json mcf.json
+     polyflow_sim report BENCH_sweep.json
      polyflow_sim spawns -w perlbmk
      polyflow_sim cfg -w twolf --proc new_dbox_a --dot *)
-
-let policy_of_string s =
-  let cat = function
-    | "loop" -> Some Pf_core.Spawn_point.Loop_iter
-    | "loopFT" -> Some Pf_core.Spawn_point.Loop_ft
-    | "procFT" -> Some Pf_core.Spawn_point.Proc_ft
-    | "hammock" -> Some Pf_core.Spawn_point.Hammock
-    | "other" -> Some Pf_core.Spawn_point.Other
-    | _ -> None
-  in
-  match s with
-  | "superscalar" | "baseline" -> Ok Pf_core.Policy.No_spawn
-  | "postdoms" -> Ok Pf_core.Policy.Postdoms
-  | "rec_pred" -> Ok Pf_core.Policy.Rec_pred
-  | "dmt" -> Ok Pf_core.Policy.Dmt
-  | _ when String.length s > 9 && String.sub s 0 9 = "postdoms-" -> (
-      match cat (String.sub s 9 (String.length s - 9)) with
-      | Some c -> Ok (Pf_core.Policy.Postdoms_minus c)
-      | None -> Error (`Msg (Printf.sprintf "unknown category in %S" s)))
-  | _ -> (
-      let parts = String.split_on_char '+' s in
-      let cats = List.map cat parts in
-      if List.for_all Option.is_some cats then
-        Ok (Pf_core.Policy.Categories (List.filter_map Fun.id cats))
-      else
-        Error
-          (`Msg
-             (Printf.sprintf
-                "unknown policy %S (try: superscalar, loop, loopFT, procFT, \
-                 hammock, other, postdoms, rec_pred, dmt, postdoms-<cat>, or \
-                 combinations like loop+loopFT)"
-                s)))
 
 let with_workload name f =
   match Pf_workloads.Suite.find name with
@@ -63,9 +33,9 @@ let prepare ?window (w : Pf_workloads.Workload.t) =
 
 (* ---- run ---- *)
 
-let report ~verbose name policy base m =
+let print_run ~verbose name policy base m =
   let open Pf_uarch in
-  Format.printf "%-10s %-22s IPC %5.3f" name (Pf_core.Policy.name policy)
+  Format.printf "%-10s %-22s IPC %.3f" name (Pf_core.Policy.name policy)
     (Metrics.ipc m);
   (match base with
   | Some b when b != m ->
@@ -74,40 +44,141 @@ let report ~verbose name policy base m =
   Format.printf "@.";
   if verbose then Format.printf "%a@." Metrics.pp m
 
-let run_cmd workload_name policy_str all_policies window verbose =
+let run_cmd workload_name policy_str all_policies window json_out verbose =
   with_workload workload_name (fun w ->
+      let t_start = Unix.gettimeofday () in
       let prep = prepare ?window w in
-      Format.printf
-        "workload %s: %d instructions in window, %d static spawn points@."
-        w.Pf_workloads.Workload.name
-        (Pf_trace.Tracer.length prep.Pf_uarch.Run.trace)
-        (List.length prep.Pf_uarch.Run.all_spawns);
-      let base = Pf_uarch.Run.baseline prep in
-      report ~verbose w.Pf_workloads.Workload.name Pf_core.Policy.No_spawn None
-        base;
-      let run_one policy =
-        let m = Pf_uarch.Run.simulate prep ~policy in
-        report ~verbose w.Pf_workloads.Workload.name policy (Some base) m
+      let name = w.Pf_workloads.Workload.name in
+      let instructions = Pf_trace.Tracer.length prep.Pf_uarch.Run.trace in
+      let static_spawns = List.length prep.Pf_uarch.Run.all_spawns in
+      let effective_window =
+        match window with
+        | Some n -> n
+        | None -> w.Pf_workloads.Workload.window
       in
-      if all_policies then begin
-        let policies =
-          Pf_core.Policy.figure9_policies
-          @ [ Pf_core.Policy.Rec_pred; Pf_core.Policy.Dmt ]
-          @ List.filter
-              (fun p -> p <> Pf_core.Policy.Postdoms)
-              Pf_core.Policy.figure10_policies
-          @ Pf_core.Policy.figure11_policies
+      Format.printf
+        "workload %s: %d instructions in window, %d static spawn points@." name
+        instructions static_spawns;
+      let records = ref [] in
+      let run_one ?base policy =
+        let config =
+          match policy with
+          | Pf_core.Policy.No_spawn -> Pf_uarch.Config.superscalar
+          | _ -> Pf_uarch.Config.polyflow
         in
-        List.iter run_one policies;
-        `Ok ()
+        let t0 = Unix.gettimeofday () in
+        let m = Pf_uarch.Run.simulate ~config prep ~policy in
+        records :=
+          { Pf_report.Sweep.workload = name;
+            label = Pf_core.Policy.name policy;
+            policy = Pf_core.Policy.name policy;
+            config;
+            window = effective_window;
+            instructions;
+            static_spawns;
+            wall_s = Unix.gettimeofday () -. t0;
+            metrics = m }
+          :: !records;
+        print_run ~verbose name policy base m;
+        m
+      in
+      let base = run_one Pf_core.Policy.No_spawn in
+      let result =
+        if all_policies then begin
+          let policies =
+            Pf_core.Policy.figure9_policies
+            @ [ Pf_core.Policy.Rec_pred; Pf_core.Policy.Dmt ]
+            @ List.filter
+                (fun p -> p <> Pf_core.Policy.Postdoms)
+                Pf_core.Policy.figure10_policies
+            @ Pf_core.Policy.figure11_policies
+          in
+          List.iter (fun p -> ignore (run_one ~base p)) policies;
+          `Ok ()
+        end
+        else
+          match Pf_core.Policy.of_string policy_str with
+          | Ok Pf_core.Policy.No_spawn -> `Ok () (* already printed *)
+          | Ok policy ->
+              ignore (run_one ~base policy);
+              `Ok ()
+          | Error m -> `Error (false, m)
+      in
+      (match (result, json_out) with
+      | `Ok (), Some path ->
+          let doc =
+            Pf_report.Sweep.document
+              ~tool:(String.concat " " (Array.to_list Sys.argv))
+              ~jobs:1
+              ~wall_s:(Unix.gettimeofday () -. t_start)
+              (List.rev !records)
+          in
+          Pf_report.Sweep.save path doc;
+          Format.printf "wrote %d runs to %s (schema %d)@."
+            (List.length doc.Pf_report.Sweep.runs)
+            path Pf_report.Manifest.schema_version
+      | _ -> ());
+      result)
+
+(* ---- report ---- *)
+
+let label_set (doc : Pf_report.Sweep.t) =
+  List.sort_uniq compare
+    (List.map (fun (r : Pf_report.Sweep.run) -> r.Pf_report.Sweep.label)
+       doc.Pf_report.Sweep.runs)
+
+let report_cmd path csv_out =
+  match Pf_report.Sweep.load path with
+  | exception Sys_error m -> `Error (false, m)
+  | exception Pf_report.Json.Parse_error (off, m) ->
+      `Error (false, Printf.sprintf "%s: JSON syntax error at byte %d: %s" path off m)
+  | exception Pf_report.Json.Decode_error m ->
+      `Error (false, Printf.sprintf "%s: not a report document: %s" path m)
+  | doc ->
+      let out = Format.std_formatter in
+      Format.fprintf out "%s: %a@." path Pf_report.Manifest.pp
+        doc.Pf_report.Sweep.manifest;
+      let workloads = Pf_report.Table.workloads doc in
+      let labels = label_set doc in
+      Format.fprintf out "%d runs · %d workloads · %d labels@.@."
+        (List.length doc.Pf_report.Sweep.runs)
+        (List.length workloads) (List.length labels);
+      let have label = List.mem label labels in
+      let figure title policies =
+        let wanted = List.map Pf_core.Policy.name policies in
+        if List.for_all have wanted
+           && List.exists (fun l -> l <> Pf_report.Table.baseline_label) wanted
+        then begin
+          Format.fprintf out "%s@." title;
+          Pf_report.Table.print_speedup_table ~out ~workloads ~labels:wanted doc;
+          Format.fprintf out "@."
+        end
+      in
+      if have Pf_report.Table.baseline_label then begin
+        figure
+          "Figure 9: Individual heuristic policies (speedup over the \
+           superscalar)"
+          Pf_core.Policy.figure9_policies;
+        figure "Figure 10: Combinations of heuristics"
+          Pf_core.Policy.figure10_policies;
+        figure "Figure 12: Reconvergence-predictor spawning"
+          Pf_core.Policy.figure12_policies;
+        Format.fprintf out "All labels, average speedup over the superscalar:@.";
+        Pf_report.Table.print_average_table ~out doc
       end
       else
-        match policy_of_string policy_str with
-        | Ok Pf_core.Policy.No_spawn -> `Ok () (* already printed *)
-        | Ok policy ->
-            run_one policy;
-            `Ok ()
-        | Error (`Msg m) -> `Error (false, m))
+        Format.fprintf out
+          "(no %S runs in the document — speedup tables unavailable)@."
+          Pf_report.Table.baseline_label;
+      (match csv_out with
+      | Some csv_path ->
+          let oc = open_out csv_path in
+          Fun.protect
+            ~finally:(fun () -> close_out oc)
+            (fun () -> output_string oc (Pf_report.Sweep.to_csv doc));
+          Format.fprintf out "@.wrote CSV to %s@." csv_path
+      | None -> ());
+      `Ok ()
 
 (* ---- list ---- *)
 
@@ -257,11 +328,39 @@ let run_c =
   let verbose_t =
     Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print full metrics.")
   in
+  let json_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Also save the runs as a schema-versioned report document \
+             (docs/REPORT_SCHEMA.md), renderable with the $(b,report) \
+             subcommand.")
+  in
   Cmd.v
     (Cmd.info "run" ~doc:"Simulate a workload under spawn policies")
     Term.(
       ret (const run_cmd $ workload_t $ policy_t $ all_policies_t $ window_t
-           $ verbose_t))
+           $ json_t $ verbose_t))
+
+let report_c =
+  let file_t =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Report document (BENCH_*.json).")
+  in
+  let csv_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"FILE" ~doc:"Also export every run as CSV.")
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Render Figure-9/10/12-style tables from a saved report document")
+    Term.(ret (const report_cmd $ file_t $ csv_t))
 
 let list_c =
   Cmd.v (Cmd.info "list" ~doc:"List workloads") Term.(ret (const list_cmd $ const ()))
@@ -314,6 +413,7 @@ let main_cmd =
   Cmd.group
     ~default:Term.(ret (const list_cmd $ const ()))
     (Cmd.info "polyflow_sim" ~doc)
-    [ run_c; list_c; disasm_c; spawns_c; callgraph_c; limits_c; cfg_c; parse_c ]
+    [ run_c; report_c; list_c; disasm_c; spawns_c; callgraph_c; limits_c;
+      cfg_c; parse_c ]
 
 let () = exit (Cmd.eval main_cmd)

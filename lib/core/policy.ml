@@ -35,6 +35,29 @@ let name = function
   | Rec_pred -> "rec_pred"
   | Dmt -> "dmt"
 
+let of_string s =
+  let cat = Spawn_point.category_of_name in
+  match s with
+  | "superscalar" | "baseline" -> Ok No_spawn
+  | "postdoms" -> Ok Postdoms
+  | "rec_pred" -> Ok Rec_pred
+  | "dmt" -> Ok Dmt
+  | _ when String.length s > 9 && String.sub s 0 9 = "postdoms-" -> (
+      match cat (String.sub s 9 (String.length s - 9)) with
+      | Some c -> Ok (Postdoms_minus c)
+      | None -> Error (Printf.sprintf "unknown category in %S" s))
+  | _ -> (
+      let cats = List.map cat (String.split_on_char '+' s) in
+      if cats <> [] && List.for_all Option.is_some cats then
+        Ok (Categories (List.filter_map Fun.id cats))
+      else
+        Error
+          (Printf.sprintf
+             "unknown policy %S (try: superscalar, loop, loopFT, procFT, \
+              hammock, other, postdoms, rec_pred, dmt, postdoms-<cat>, or \
+              combinations like loop+loopFT)"
+             s))
+
 let figure9_policies =
   [ Categories [ Spawn_point.Loop_iter ];
     Categories [ Spawn_point.Loop_ft ];

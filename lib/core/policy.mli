@@ -38,6 +38,13 @@ val uses_dmt_heuristics : t -> bool
 (** Short display name, e.g. ["postdoms"], ["loop+loopFT"]. *)
 val name : t -> string
 
+(** Parse a {!name}-style policy string: ["superscalar"] (or
+    ["baseline"]), ["postdoms"], ["rec_pred"], ["dmt"],
+    ["postdoms-<category>"], a category name, or a [+]-joined category
+    combination. [Error] carries a usage message listing the accepted
+    forms. *)
+val of_string : string -> (t, string) result
+
 (** The policy line-ups of each figure. *)
 val figure9_policies : t list
 

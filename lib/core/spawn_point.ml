@@ -13,6 +13,11 @@ let category_name = function
   | Hammock -> "hammock"
   | Other -> "other"
 
+let all_categories = [ Loop_iter; Loop_ft; Proc_ft; Hammock; Other ]
+
+let category_of_name name =
+  List.find_opt (fun c -> category_name c = name) all_categories
+
 let postdom_categories = [ Loop_ft; Proc_ft; Hammock; Other ]
 
 let compare = Stdlib.compare

@@ -21,6 +21,12 @@ type t = {
 
 val category_name : category -> string
 
+(** Inverse of {!category_name}; [None] for unknown names. *)
+val category_of_name : string -> category option
+
+(** Every category, in declaration (Figure 5 column) order. *)
+val all_categories : category list
+
 (** The four immediate-postdominator categories of Figure 5 (everything
     except [Loop_iter]). *)
 val postdom_categories : category list

@@ -1,0 +1,41 @@
+(** JSON and CSV codecs for the simulator's value types.
+
+    These are the building blocks of the report schema
+    ([docs/REPORT_SCHEMA.md]); {!Sweep} assembles them into full
+    documents. Every [.._of_json] is strict — a missing or mistyped
+    field raises {!Json.Decode_error} naming the field — and every
+    round trip is exact: [metrics_of_json (metrics_to_json m) = m]. *)
+
+(** {1 Spawn categories} *)
+
+(** Inverse of [Pf_core.Spawn_point.category_name]. *)
+val category_of_name : string -> Pf_core.Spawn_point.category option
+
+(** {1 Metrics} *)
+
+(** Serializes every counter plus a derived ["ipc"] field (for
+    consumers that only read the JSON); the spawn counts keep their
+    list order so the round trip is structural equality. *)
+val metrics_to_json : Pf_uarch.Metrics.t -> Json.t
+
+(** Ignores the derived ["ipc"] field and rebuilds the record from the
+    raw counters. *)
+val metrics_of_json : Json.t -> Pf_uarch.Metrics.t
+
+(** {1 Machine configuration} *)
+
+(** All knobs of [Pf_uarch.Config.t], one JSON member per record field. *)
+val config_to_json : Pf_uarch.Config.t -> Json.t
+
+val config_of_json : Json.t -> Pf_uarch.Config.t
+
+(** {1 CSV}
+
+    One row per run; {!Sweep.to_csv} prepends the identifying columns.
+    [metrics_csv_header] and [metrics_csv_cells] always have the same
+    arity: the five spawn categories get one fixed column each
+    regardless of which categories a run exercised. *)
+
+val metrics_csv_header : string list
+
+val metrics_csv_cells : Pf_uarch.Metrics.t -> string list

@@ -1,0 +1,75 @@
+let schema_version = 1
+let kind_tag = "polyflow-report"
+
+type t = {
+  schema_version : int;
+  kind : string;
+  tool : string;
+  git : string;
+  hostname : string;
+  ocaml_version : string;
+  created_unix : float;
+  wall_s : float;
+  jobs : int;
+}
+
+let git_describe () =
+  try
+    let ic = Unix.open_process_in "git describe --always --dirty 2>/dev/null" in
+    let line = try input_line ic with End_of_file -> "" in
+    let status = Unix.close_process_in ic in
+    match (status, line) with
+    | Unix.WEXITED 0, line when line <> "" -> line
+    | _ -> "unknown"
+  with _ -> "unknown"
+
+let create ~tool ~jobs ~wall_s =
+  { schema_version;
+    kind = kind_tag;
+    tool;
+    git = git_describe ();
+    hostname = (try Unix.gethostname () with _ -> "unknown");
+    ocaml_version = Sys.ocaml_version;
+    created_unix = Unix.gettimeofday ();
+    wall_s;
+    jobs }
+
+let to_json m =
+  Json.Obj
+    [ ("schema_version", Json.Int m.schema_version);
+      ("kind", Json.String m.kind);
+      ("tool", Json.String m.tool);
+      ("git", Json.String m.git);
+      ("hostname", Json.String m.hostname);
+      ("ocaml_version", Json.String m.ocaml_version);
+      ("created_unix", Json.Float m.created_unix);
+      ("wall_s", Json.Float m.wall_s);
+      ("jobs", Json.Int m.jobs) ]
+
+let of_json j =
+  let version = Json.to_int (Json.member "schema_version" j) in
+  if version <> schema_version then
+    raise
+      (Json.Decode_error
+         (Printf.sprintf "unsupported schema_version %d (this build reads %d)"
+            version schema_version));
+  { schema_version = version;
+    kind = Json.to_str (Json.member "kind" j);
+    tool = Json.to_str (Json.member "tool" j);
+    git = Json.to_str (Json.member "git" j);
+    hostname = Json.to_str (Json.member "hostname" j);
+    ocaml_version = Json.to_str (Json.member "ocaml_version" j);
+    created_unix = Json.to_float (Json.member "created_unix" j);
+    wall_s = Json.to_float (Json.member "wall_s" j);
+    jobs = Json.to_int (Json.member "jobs" j) }
+
+let pp ppf m =
+  let tm = Unix.gmtime m.created_unix in
+  Format.fprintf ppf
+    "schema %d · %s · git %s · %04d-%02d-%02dT%02d:%02d:%02dZ · %s · ocaml %s \
+     · %d job%s · %.1f s"
+    m.schema_version m.kind m.git (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1)
+    tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec m.hostname
+    m.ocaml_version m.jobs
+    (if m.jobs = 1 then "" else "s")
+    m.wall_s

@@ -1,0 +1,263 @@
+open Pf_uarch
+
+type spec = {
+  workload : string;
+  policy : Pf_core.Policy.t;
+  label : string;
+  config : Config.t option;
+  window : int option;
+}
+
+let spec ?label ?config ?window workload policy =
+  let label =
+    match label with Some l -> l | None -> Pf_core.Policy.name policy
+  in
+  { workload; policy; label; config; window }
+
+type run = {
+  workload : string;
+  label : string;
+  policy : string;
+  config : Config.t;
+  window : int;
+  instructions : int;
+  static_spawns : int;
+  wall_s : float;
+  metrics : Metrics.t;
+}
+
+type prepared_window = {
+  pw_workload : string;
+  pw_window : int;
+  prep : Run.prepared;
+}
+
+(* ---- the worker pool ----
+
+   Work items are claimed with an atomic counter; each result slot is
+   written by exactly one domain and read only after [Domain.join], so
+   no further synchronisation is needed. Item functions must not print:
+   only the calling domain touches stdout/stderr (via [progress]). *)
+
+let map_pool ?progress ~jobs ~offset ~total f arr =
+  let n = Array.length arr in
+  let results = Array.make n None in
+  let notify done_ =
+    match progress with Some p -> p ~done_:(offset + done_) ~total | None -> ()
+  in
+  if jobs <= 1 || n <= 1 then
+    Array.iteri
+      (fun i x ->
+        results.(i) <- Some (try Ok (f x) with e -> Error e);
+        notify (i + 1))
+      arr
+  else begin
+    let next = Atomic.make 0 in
+    let completed = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          results.(i) <- Some (try Ok (f arr.(i)) with e -> Error e);
+          Atomic.incr completed;
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let domains = List.init (min jobs n) (fun _ -> Domain.spawn worker) in
+    let rec poll () =
+      let c = Atomic.get completed in
+      notify c;
+      if c < n then begin
+        Unix.sleepf 0.05;
+        poll ()
+      end
+    in
+    poll ();
+    List.iter Domain.join domains;
+    notify n
+  end;
+  Array.map
+    (function
+      | Some (Ok v) -> v
+      | Some (Error e) -> raise e
+      | None -> assert false)
+    results
+
+(* ---- sweep execution ---- *)
+
+let resolve_config (s : spec) =
+  match (s.config, s.policy) with
+  | Some c, _ -> c
+  | None, Pf_core.Policy.No_spawn -> Config.superscalar
+  | None, _ -> Config.polyflow
+
+let execute ?progress ~jobs specs =
+  let specs = Array.of_list specs in
+  let workload_of name =
+    match Pf_workloads.Suite.find name with
+    | Some w -> w
+    | None -> invalid_arg (Printf.sprintf "Sweep.execute: unknown workload %S" name)
+  in
+  let resolved =
+    Array.map
+      (fun (s : spec) ->
+        let wl = workload_of s.workload in
+        let window =
+          match s.window with
+          | Some w -> w
+          | None -> wl.Pf_workloads.Workload.window
+        in
+        (s, wl, window))
+      specs
+  in
+  let seen = Hashtbl.create (Array.length specs) in
+  Array.iter
+    (fun ((s : spec), _, _) ->
+      let key = (s.workload, s.label) in
+      if Hashtbl.mem seen key then
+        invalid_arg
+          (Printf.sprintf "Sweep.execute: duplicate run %s/%s" s.workload
+             s.label);
+      Hashtbl.add seen key ())
+    resolved;
+  (* distinct (workload, window) pairs, in first-use order *)
+  let keys =
+    let tbl = Hashtbl.create 16 in
+    let order = ref [] in
+    Array.iter
+      (fun ((s : spec), wl, window) ->
+        let key = (s.workload, window) in
+        if not (Hashtbl.mem tbl key) then begin
+          Hashtbl.add tbl key ();
+          order := (s.workload, wl, window) :: !order
+        end)
+      resolved;
+    Array.of_list (List.rev !order)
+  in
+  let total = Array.length keys + Array.length specs in
+  let prepared =
+    map_pool ?progress ~jobs ~offset:0 ~total
+      (fun (name, wl, window) ->
+        { pw_workload = name;
+          pw_window = window;
+          prep =
+            Run.prepare wl.Pf_workloads.Workload.program
+              ~setup:wl.Pf_workloads.Workload.setup
+              ~fast_forward:wl.Pf_workloads.Workload.fast_forward ~window })
+      keys
+  in
+  let prep_index = Hashtbl.create 16 in
+  Array.iter
+    (fun pw -> Hashtbl.replace prep_index (pw.pw_workload, pw.pw_window) pw.prep)
+    prepared;
+  let runs =
+    map_pool ?progress ~jobs ~offset:(Array.length keys) ~total
+      (fun ((s : spec), _, window) ->
+        let prep = Hashtbl.find prep_index (s.workload, window) in
+        let config = resolve_config s in
+        let t0 = Unix.gettimeofday () in
+        let metrics = Run.simulate ~config prep ~policy:s.policy in
+        { workload = s.workload;
+          label = s.label;
+          policy = Pf_core.Policy.name s.policy;
+          config;
+          window;
+          instructions = Pf_trace.Tracer.length prep.Run.trace;
+          static_spawns = List.length prep.Run.all_spawns;
+          wall_s = Unix.gettimeofday () -. t0;
+          metrics })
+      resolved
+  in
+  (Array.to_list runs, Array.to_list prepared)
+
+(* ---- documents ---- *)
+
+type t = {
+  manifest : Manifest.t;
+  runs : run list;
+}
+
+let document ~tool ~jobs ~wall_s runs =
+  { manifest = Manifest.create ~tool ~jobs ~wall_s; runs }
+
+let run_to_json r =
+  Json.Obj
+    [ ("workload", Json.String r.workload);
+      ("label", Json.String r.label);
+      ("policy", Json.String r.policy);
+      ("window", Json.Int r.window);
+      ("instructions", Json.Int r.instructions);
+      ("static_spawns", Json.Int r.static_spawns);
+      ("wall_s", Json.Float r.wall_s);
+      ("config", Codec.config_to_json r.config);
+      ("metrics", Codec.metrics_to_json r.metrics) ]
+
+let run_of_json j =
+  { workload = Json.to_str (Json.member "workload" j);
+    label = Json.to_str (Json.member "label" j);
+    policy = Json.to_str (Json.member "policy" j);
+    window = Json.to_int (Json.member "window" j);
+    instructions = Json.to_int (Json.member "instructions" j);
+    static_spawns = Json.to_int (Json.member "static_spawns" j);
+    wall_s = Json.to_float (Json.member "wall_s" j);
+    config = Codec.config_of_json (Json.member "config" j);
+    metrics = Codec.metrics_of_json (Json.member "metrics" j) }
+
+let to_json t =
+  Json.Obj
+    [ ("schema_version", Json.Int t.manifest.Manifest.schema_version);
+      ("manifest", Manifest.to_json t.manifest);
+      ("runs", Json.List (List.map run_to_json t.runs)) ]
+
+let of_json j =
+  let manifest = Manifest.of_json (Json.member "manifest" j) in
+  let top_version = Json.to_int (Json.member "schema_version" j) in
+  if top_version <> manifest.Manifest.schema_version then
+    raise
+      (Json.Decode_error
+         "schema_version disagrees between document and manifest");
+  { manifest;
+    runs = List.map run_of_json (Json.to_list (Json.member "runs" j)) }
+
+let save path t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Json.to_string_pretty (to_json t));
+      output_char oc '\n')
+
+let load path =
+  let ic = open_in path in
+  let text =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  of_json (Json.of_string text)
+
+(* ---- CSV ---- *)
+
+let csv_cell s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\""
+    ^ String.concat "\"\"" (String.split_on_char '"' s)
+    ^ "\""
+  else s
+
+let csv_line cells = String.concat "," (List.map csv_cell cells)
+
+let to_csv t =
+  let header =
+    [ "workload"; "label"; "policy"; "window"; "static_spawns"; "wall_s" ]
+    @ Codec.metrics_csv_header
+  in
+  let row r =
+    [ r.workload; r.label; r.policy; string_of_int r.window;
+      string_of_int r.static_spawns; Printf.sprintf "%.3f" r.wall_s ]
+    @ Codec.metrics_csv_cells r.metrics
+  in
+  String.concat "\n" (csv_line header :: List.map (fun r -> csv_line (row r)) t.runs)
+  ^ "\n"

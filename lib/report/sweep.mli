@@ -1,0 +1,99 @@
+(** Parallel workload×policy sweeps and the report document they emit.
+
+    A sweep is a list of {!spec}s — (workload, policy, optional config
+    and window overrides) — fanned out over a [Domain]-based worker
+    pool. Preparation (architectural execution, window capture,
+    dependence analysis) runs once per distinct (workload, window) pair
+    and is shared read-only by every simulation of that window, exactly
+    the paper's same-dynamic-instructions methodology (Section 3.2).
+
+    Results are deterministic in the job count: workload data is seeded
+    per workload by [Pf_workloads.Rng] and the timing engine keeps no
+    global state, so [~jobs:1] and [~jobs:4] produce identical metric
+    values (only the [wall_s] stamps differ). The test suite asserts
+    this byte-for-byte on the serialized metrics. *)
+
+(** One cell of the sweep grid. *)
+type spec = {
+  workload : string;  (** suite name, e.g. ["twolf"] *)
+  policy : Pf_core.Policy.t;
+  label : string;
+      (** unique key of the run within its workload; defaults to the
+          policy name, config variants add a suffix ("postdoms\@tasks=4") *)
+  config : Pf_uarch.Config.t option;
+      (** [None]: the policy's default machine ({!Pf_uarch.Config.superscalar}
+          for [No_spawn], {!Pf_uarch.Config.polyflow} otherwise) *)
+  window : int option; (** [None]: the workload's default window *)
+}
+
+(** [spec name policy] with optional overrides. *)
+val spec :
+  ?label:string ->
+  ?config:Pf_uarch.Config.t ->
+  ?window:int ->
+  string ->
+  Pf_core.Policy.t ->
+  spec
+
+(** One completed run: the resolved inputs plus the measured metrics. *)
+type run = {
+  workload : string;
+  label : string;
+  policy : string;            (** [Pf_core.Policy.name] of the policy *)
+  config : Pf_uarch.Config.t; (** the resolved (effective) configuration *)
+  window : int;               (** the resolved window request *)
+  instructions : int;         (** instructions actually captured *)
+  static_spawns : int;        (** static spawn points of the program *)
+  wall_s : float;             (** wall time of this simulation *)
+  metrics : Pf_uarch.Metrics.t;
+}
+
+(** A prepared (workload, window) pair, exposed so callers can run
+    extra analyses (ILP limits, micro-benchmarks) on the same windows
+    the sweep measured. *)
+type prepared_window = {
+  pw_workload : string;
+  pw_window : int;
+  prep : Pf_uarch.Run.prepared;
+}
+
+(** [execute ~jobs specs] runs every spec and returns the runs in spec
+    order together with the prepared windows (in first-use order).
+    [jobs <= 1] runs inline on the calling domain; higher values spawn
+    that many worker domains. [progress] is called from the calling
+    domain only, at least once per completed item.
+    @raise Invalid_argument on an unknown workload name or duplicate
+    (workload, label) pairs. *)
+val execute :
+  ?progress:(done_:int -> total:int -> unit) ->
+  jobs:int ->
+  spec list ->
+  run list * prepared_window list
+
+(** {1 Documents} *)
+
+(** A report document: manifest plus runs. This is the payload of every
+    [BENCH_*.json] artifact. *)
+type t = {
+  manifest : Manifest.t;
+  runs : run list;
+}
+
+(** Wrap runs produced outside {!execute} (e.g. a single CLI run) in a
+    schema-stamped document. *)
+val document : tool:string -> jobs:int -> wall_s:float -> run list -> t
+
+val to_json : t -> Json.t
+
+(** @raise Json.Decode_error on schema violations. *)
+val of_json : Json.t -> t
+
+(** Pretty-printed JSON, trailing newline included. *)
+val save : string -> t -> unit
+
+(** @raise Json.Parse_error or [Json.Decode_error] on a bad file,
+    [Sys_error] on I/O failure. *)
+val load : string -> t
+
+(** The whole document as CSV: a header row, then one row per run. *)
+val to_csv : t -> string

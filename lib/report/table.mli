@@ -1,0 +1,42 @@
+(** Speedup and aggregate tables computed from report documents.
+
+    The bench harness and the [polyflow_sim report] subcommand both
+    render through this module, so a table regenerated from a saved
+    [BENCH_*.json] is byte-identical to the one the producing run
+    printed — which is what makes the artifacts diffable across PRs. *)
+
+(** The label of the superscalar baseline run (["superscalar"]). *)
+val baseline_label : string
+
+(** Workload names in first-appearance order. *)
+val workloads : Sweep.t -> string list
+
+(** Run labels in first-appearance order. *)
+val labels : Sweep.t -> string list
+
+val find_run : Sweep.t -> workload:string -> label:string -> Sweep.run option
+
+(** Percent speedup of a run over its workload's baseline run.
+    @raise Not_found if the workload has no {!baseline_label} run. *)
+val speedup_pct : Sweep.t -> Sweep.run -> float
+
+(** Mean over the workloads that have both the label and a baseline;
+    [None] if no workload does. *)
+val average_speedup : Sweep.t -> label:string -> float option
+
+(** [print_speedup_table t ~workloads ~labels] — the Figure-9/10/12
+    layout: one row per workload, one [+x.y%] column per label, the
+    baseline IPC in a trailing column, and an Average row. Cells whose
+    run is missing from the document print as [-]. Column width adapts
+    to the longest label, so wide counters and long variant labels stay
+    aligned. *)
+val print_speedup_table :
+  out:Format.formatter ->
+  workloads:string list ->
+  labels:string list ->
+  Sweep.t ->
+  unit
+
+(** Every non-baseline label with its average speedup and the number of
+    workloads it covers, in document order. *)
+val print_average_table : out:Format.formatter -> Sweep.t -> unit

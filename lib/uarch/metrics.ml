@@ -29,18 +29,36 @@ let speedup_pct ~baseline t = 100. *. (ipc t /. ipc baseline -. 1.)
 
 let total_spawns t = List.fold_left (fun acc (_, n) -> acc + n) 0 t.spawns
 
+let pretty_int n =
+  let digits = string_of_int (abs n) in
+  let len = String.length digits in
+  let buf = Buffer.create (len + (len / 3) + 1) in
+  if n < 0 then Buffer.add_char buf '-';
+  String.iteri
+    (fun i c ->
+      if i > 0 && (len - i) mod 3 = 0 then Buffer.add_char buf ',';
+      Buffer.add_char buf c)
+    digits;
+  Buffer.contents buf
+
 let pp ppf t =
+  let count ppf n = Format.fprintf ppf "%15s" (pretty_int n) in
   Format.fprintf ppf
-    "@[<v>instructions      %d@,cycles            %d@,IPC               %.3f@,\
-     branch mispred.   %d@,indirect mispred. %d@,return mispred.   %d@,\
-     tasks spawned     %d@,max live tasks    %d@,squashes          %d \
-     (%d instrs)@,diverted          %d@,cache misses      L1I %d, L1D %d, L2 %d@,retire stalls     frontend %d, divert %d, sched %d, exec %d@,spawns            %a@]"
-    t.instructions t.cycles (ipc t) t.branch_mispredicts t.indirect_mispredicts
-    t.return_mispredicts t.tasks_spawned t.max_live_tasks t.squashes
-    t.squashed_instrs t.diverted t.l1i_misses t.l1d_misses t.l2_misses
-    t.stall_frontend t.stall_divert t.stall_sched t.stall_exec
+    "@[<v>instructions      %a@,cycles            %a@,IPC               %15.3f@,\
+     branch mispred.   %a@,indirect mispred. %a@,return mispred.   %a@,\
+     tasks spawned     %a@,max live tasks    %a@,squashes          %a \
+     (%s instrs)@,diverted          %a@,cache misses      L1I %s, L1D %s, L2 %s@,retire stalls     frontend %s, divert %s, sched %s, exec %s@,spawns            %a@]"
+    count t.instructions count t.cycles (ipc t) count t.branch_mispredicts
+    count t.indirect_mispredicts count t.return_mispredicts
+    count t.tasks_spawned count t.max_live_tasks count t.squashes
+    (pretty_int t.squashed_instrs) count t.diverted
+    (pretty_int t.l1i_misses) (pretty_int t.l1d_misses)
+    (pretty_int t.l2_misses) (pretty_int t.stall_frontend)
+    (pretty_int t.stall_divert) (pretty_int t.stall_sched)
+    (pretty_int t.stall_exec)
     (Format.pp_print_list
        ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
        (fun ppf (c, n) ->
-         Format.fprintf ppf "%s=%d" (Pf_core.Spawn_point.category_name c) n))
+         Format.fprintf ppf "%s=%s" (Pf_core.Spawn_point.category_name c)
+           (pretty_int n)))
     t.spawns

@@ -25,10 +25,12 @@ type t = {
   stall_exec : int;     (** issued, waiting for its latency (loads mostly) *)
 }
 
-(** Share of stall cycles spent executing (vs waiting on the frontend),
-    a quick read on whether a run is latency- or fetch-bound. *)
+(** Total retirement-stall cycles: the sum of the four attribution
+    buckets above. *)
 val stall_cycles : t -> int
 
+(** Retired instructions per cycle; [0.] on an empty run. Render with
+    [%.3f] — every table in the tree uses that precision. *)
 val ipc : t -> float
 
 (** [speedup_pct ~baseline t] — percent speedup of [t] over [baseline]
@@ -37,4 +39,10 @@ val speedup_pct : baseline:t -> t -> float
 
 val total_spawns : t -> int
 
+(** [pretty_int 12345678] is ["12,345,678"] — thousands grouping for
+    counters, so table columns stay readable past 10M instructions. *)
+val pretty_int : int -> string
+
+(** Full human-readable dump; counters are right-aligned in 15 columns
+    with thousands grouping, so values up to 10{^14} keep the layout. *)
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,271 @@
+(* Tests for pf_report: the JSON codec, the report schema round trips,
+   CSV arity, the table aggregates, and the parallel sweep runner's
+   determinism in the job count. *)
+
+open Pf_report
+open Pf_uarch
+
+let case name f = Alcotest.test_case name `Quick f
+
+(* ---- Json ---- *)
+
+let test_json_roundtrip () =
+  let v =
+    Json.Obj
+      [ ("a", Json.Int (-42));
+        ("b", Json.Float 3.140000001);
+        ("c", Json.String "line\nbreak \"quoted\" tab\t\\slash");
+        ("d", Json.List [ Json.Null; Json.Bool true; Json.Bool false ]);
+        ("e", Json.Obj []);
+        ("f", Json.List []);
+        ("g", Json.Float 1e300);
+        ("h", Json.Float (-0.5));
+        ("big", Json.Int max_int) ]
+  in
+  Alcotest.(check bool) "compact round trip" true (Json.of_string (Json.to_string v) = v);
+  Alcotest.(check bool) "pretty round trip" true
+    (Json.of_string (Json.to_string_pretty v) = v)
+
+let test_json_whole_floats_stay_floats () =
+  match Json.of_string (Json.to_string (Json.Float 5.)) with
+  | Json.Float f -> Alcotest.(check (float 0.)) "value" 5. f
+  | _ -> Alcotest.fail "5.0 parsed back as a non-float"
+
+let test_json_escapes () =
+  Alcotest.(check string)
+    "unicode escape decodes to UTF-8" "a\xc3\xa9b"
+    (match Json.of_string {|"aéb"|} with
+    | Json.String s -> s
+    | _ -> "not a string");
+  Alcotest.(check string)
+    "surrogate pair decodes" "\xf0\x9d\x84\x9e"
+    (match Json.of_string {|"𝄞"|} with
+    | Json.String s -> s
+    | _ -> "not a string")
+
+let test_json_errors () =
+  let fails s =
+    match Json.of_string s with
+    | exception Json.Parse_error _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "trailing garbage" true (fails "{} x");
+  Alcotest.(check bool) "unterminated string" true (fails "\"abc");
+  Alcotest.(check bool) "bare word" true (fails "postdoms");
+  Alcotest.(check bool) "missing colon" true (fails {|{"a" 1}|});
+  Alcotest.(check bool) "non-finite rejected on write" true
+    (match Json.to_string (Json.Float Float.nan) with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* ---- Metrics codec ---- *)
+
+let arbitrary_metrics =
+  let open QCheck.Gen in
+  let counter = frequency [ (3, int_bound 10_000); (1, int_bound 2_000_000_000) ] in
+  let spawns =
+    let category =
+      oneofl Pf_core.Spawn_point.all_categories
+    in
+    list_size (int_bound 5) (pair category counter)
+  in
+  let gen =
+    counter >>= fun instructions ->
+    counter >>= fun cycles ->
+    counter >>= fun branch_mispredicts ->
+    counter >>= fun indirect_mispredicts ->
+    counter >>= fun return_mispredicts ->
+    spawns >>= fun spawns ->
+    counter >>= fun squashes ->
+    counter >>= fun squashed_instrs ->
+    counter >>= fun diverted ->
+    counter >>= fun tasks_spawned ->
+    counter >>= fun max_live_tasks ->
+    counter >>= fun l1i_misses ->
+    counter >>= fun l1d_misses ->
+    counter >>= fun l2_misses ->
+    counter >>= fun stall_frontend ->
+    counter >>= fun stall_divert ->
+    counter >>= fun stall_sched ->
+    counter >>= fun stall_exec ->
+    return
+      { Metrics.instructions; cycles; branch_mispredicts; indirect_mispredicts;
+        return_mispredicts; spawns; squashes; squashed_instrs; diverted;
+        tasks_spawned; max_live_tasks; l1i_misses; l1d_misses; l2_misses;
+        stall_frontend; stall_divert; stall_sched; stall_exec }
+  in
+  QCheck.make gen
+
+let metrics_roundtrip_prop =
+  QCheck.Test.make ~name:"Metrics -> JSON -> Metrics is the identity" ~count:200
+    arbitrary_metrics (fun m ->
+      Codec.metrics_of_json (Json.of_string (Json.to_string (Codec.metrics_to_json m)))
+      = m)
+
+let csv_arity_prop =
+  QCheck.Test.make ~name:"CSV rows always match the header arity" ~count:200
+    arbitrary_metrics (fun m ->
+      List.length (Codec.metrics_csv_cells m) = List.length Codec.metrics_csv_header)
+
+let test_config_roundtrip () =
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) "config round trip" true
+        (Codec.config_of_json (Json.of_string (Json.to_string (Codec.config_to_json c)))
+        = c))
+    [ Config.superscalar;
+      Config.polyflow;
+      { Config.polyflow with Config.max_tasks = 3; split_spawning = true } ]
+
+let test_metrics_decode_is_strict () =
+  let j = Codec.metrics_to_json (QCheck.Gen.generate1 (QCheck.gen arbitrary_metrics)) in
+  let without field =
+    match j with
+    | Json.Obj fields -> Json.Obj (List.remove_assoc field fields)
+    | _ -> assert false
+  in
+  Alcotest.(check bool) "missing counter rejected" true
+    (match Codec.metrics_of_json (without "cycles") with
+    | exception Json.Decode_error _ -> true
+    | _ -> false)
+
+(* ---- manifest ---- *)
+
+let test_manifest () =
+  let m = Manifest.create ~tool:"test" ~jobs:3 ~wall_s:1.5 in
+  Alcotest.(check int) "schema version" Manifest.schema_version
+    m.Manifest.schema_version;
+  Alcotest.(check bool) "git describe non-empty" true (String.length m.Manifest.git > 0);
+  let m' = Manifest.of_json (Json.of_string (Json.to_string (Manifest.to_json m))) in
+  Alcotest.(check bool) "manifest round trip" true (m = m');
+  let bumped =
+    match Manifest.to_json m with
+    | Json.Obj fields ->
+        Json.Obj
+          (List.map
+             (fun (k, v) ->
+               if k = "schema_version" then (k, Json.Int 999) else (k, v))
+             fields)
+    | _ -> assert false
+  in
+  Alcotest.(check bool) "future schema rejected" true
+    (match Manifest.of_json bumped with
+    | exception Json.Decode_error _ -> true
+    | _ -> false)
+
+(* ---- sweep ---- *)
+
+let small_specs =
+  List.concat_map
+    (fun w ->
+      [ Sweep.spec w Pf_core.Policy.No_spawn ~window:3_000;
+        Sweep.spec w Pf_core.Policy.Postdoms ~window:3_000 ])
+    [ "gzip"; "mcf" ]
+
+let metrics_bytes runs =
+  String.concat "\n"
+    (List.map
+       (fun (r : Sweep.run) -> Json.to_string (Codec.metrics_to_json r.Sweep.metrics))
+       runs)
+
+let test_sweep_jobs_determinism () =
+  let seq, _ = Sweep.execute ~jobs:1 small_specs in
+  let par, _ = Sweep.execute ~jobs:4 small_specs in
+  Alcotest.(check int) "same run count" (List.length seq) (List.length par);
+  List.iter2
+    (fun (a : Sweep.run) (b : Sweep.run) ->
+      Alcotest.(check string) "same run order" a.Sweep.label b.Sweep.label)
+    seq par;
+  Alcotest.(check string) "byte-identical metric values" (metrics_bytes seq)
+    (metrics_bytes par)
+
+let test_sweep_document_roundtrip () =
+  let runs, prepared = Sweep.execute ~jobs:2 small_specs in
+  Alcotest.(check int) "one prepared window per workload" 2 (List.length prepared);
+  let doc = Sweep.document ~tool:"test" ~jobs:2 ~wall_s:0.1 runs in
+  let doc' = Sweep.of_json (Json.of_string (Json.to_string_pretty (Sweep.to_json doc))) in
+  Alcotest.(check bool) "document round trip" true
+    (doc.Sweep.manifest = doc'.Sweep.manifest && doc.Sweep.runs = doc'.Sweep.runs);
+  (* CSV: header plus one row per run, constant arity *)
+  let lines =
+    List.filter (fun l -> l <> "") (String.split_on_char '\n' (Sweep.to_csv doc))
+  in
+  (match lines with
+  | header :: rows ->
+      Alcotest.(check int) "one CSV row per run" (List.length runs) (List.length rows);
+      let arity l = List.length (String.split_on_char ',' l) in
+      List.iter
+        (fun r -> Alcotest.(check int) "CSV row arity" (arity header) (arity r))
+        rows
+  | [] -> Alcotest.fail "empty CSV")
+
+let test_sweep_rejects_bad_input () =
+  Alcotest.(check bool) "unknown workload" true
+    (match Sweep.execute ~jobs:1 [ Sweep.spec "nonesuch" Pf_core.Policy.Postdoms ] with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "duplicate label" true
+    (match
+       Sweep.execute ~jobs:1
+         [ Sweep.spec "gzip" Pf_core.Policy.Postdoms ~window:3_000;
+           Sweep.spec "gzip" Pf_core.Policy.Postdoms ~window:3_000 ]
+     with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_table_aggregates () =
+  let runs, _ = Sweep.execute ~jobs:2 small_specs in
+  let doc = Sweep.document ~tool:"test" ~jobs:2 ~wall_s:0.1 runs in
+  Alcotest.(check (list string)) "workloads in order" [ "gzip"; "mcf" ]
+    (Table.workloads doc);
+  let direct =
+    List.map
+      (fun w ->
+        let find label =
+          match Table.find_run doc ~workload:w ~label with
+          | Some r -> r.Sweep.metrics
+          | None -> Alcotest.fail ("missing " ^ label)
+        in
+        Metrics.speedup_pct ~baseline:(find "superscalar") (find "postdoms"))
+      [ "gzip"; "mcf" ]
+  in
+  let expected = List.fold_left ( +. ) 0. direct /. 2. in
+  match Table.average_speedup doc ~label:"postdoms" with
+  | None -> Alcotest.fail "no average"
+  | Some avg ->
+      Alcotest.(check (float 1e-9)) "average matches direct computation"
+        expected avg
+
+(* ---- policy names round-trip (the CLI and the schema rely on it) ---- *)
+
+let test_policy_of_string () =
+  List.iter
+    (fun p ->
+      match Pf_core.Policy.of_string (Pf_core.Policy.name p) with
+      | Ok p' ->
+          Alcotest.(check string)
+            ("name round trip for " ^ Pf_core.Policy.name p)
+            (Pf_core.Policy.name p) (Pf_core.Policy.name p')
+      | Error e -> Alcotest.fail e)
+    (Pf_core.Policy.(
+       (No_spawn :: figure9_policies) @ figure10_policies @ figure11_policies
+       @ figure12_policies @ [ Dmt ]));
+  Alcotest.(check bool) "junk rejected" true
+    (match Pf_core.Policy.of_string "frobnicate" with Error _ -> true | Ok _ -> false)
+
+let suite =
+  [ ( "report",
+      [ case "json: nested value round trip" test_json_roundtrip;
+        case "json: whole floats stay floats" test_json_whole_floats_stay_floats;
+        case "json: escape decoding" test_json_escapes;
+        case "json: malformed input rejected" test_json_errors;
+        QCheck_alcotest.to_alcotest metrics_roundtrip_prop;
+        QCheck_alcotest.to_alcotest csv_arity_prop;
+        case "config round trip" test_config_roundtrip;
+        case "metrics decode is strict" test_metrics_decode_is_strict;
+        case "manifest: stamp, round trip, version gate" test_manifest;
+        case "sweep: --jobs 1 and --jobs 4 byte-identical" test_sweep_jobs_determinism;
+        case "sweep: document and CSV round trip" test_sweep_document_roundtrip;
+        case "sweep: bad input rejected" test_sweep_rejects_bad_input;
+        case "table: averages match direct computation" test_table_aggregates;
+        case "policy names parse back" test_policy_of_string ] ) ]
