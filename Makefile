@@ -8,8 +8,12 @@ bench:
 # Tiny 2x2 sweep that validates the JSON pipeline end to end (~seconds).
 bench-smoke:
 	dune exec bench/main.exe -- --smoke
+# Engine microbenchmark: prepare-vs-simulate phase timings plus a timed
+# full-grid sweep, written to BENCH_engine.json (see docs/ENGINE.md).
+bench-engine:
+	dune exec bench/engine_bench.exe
 doc:
 	dune build @doc
 clean:
 	dune clean
-.PHONY: all test bench bench-smoke doc clean
+.PHONY: all test bench bench-smoke bench-engine doc clean

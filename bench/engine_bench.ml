@@ -1,0 +1,296 @@
+(* Engine microbenchmark: per-phase timings of the simulation pipeline,
+   tracked as a schema-versioned BENCH_engine.json artifact.
+
+   The sweep's cost per workload splits into
+     prepare  — architectural execution, window capture, dependence
+                analysis, SoA flattening, occurrence index (paid once
+                per (workload, window) pair and shared by every policy);
+     simulate — the engine cycle loop (paid once per policy).
+   This harness measures both sides separately, re-times the flattening
+   pass in isolation (the per-cell work that sharing the immutable
+   Flat_trace removes from an N-policy sweep), and optionally times the
+   full workload×policy grid through the parallel sweep runner. The
+   derived `flatten_sharing_speedup` is shared-flattening wall over
+   flatten-per-policy wall for the same phase runs; `grid.wall_s` is the
+   number to track across PRs for end-to-end sweep speed.
+
+   `--smoke` runs a seconds-scale self-check (tiny windows, two
+   workloads, parity + JSON round-trip assertions) and is wired into
+   `dune runtest` so this harness cannot bitrot. *)
+
+module Sweep = Pf_report.Sweep
+module Json = Pf_report.Json
+open Pf_uarch
+
+(* ---- command line ---- *)
+
+let jobs = ref (min 8 (Domain.recommended_domain_count ()))
+let json_out = ref "BENCH_engine.json"
+let smoke = ref false
+let no_grid = ref false
+let window_override =
+  ref (Option.map int_of_string (Sys.getenv_opt "PF_BENCH_WINDOW"))
+
+let () =
+  Arg.parse
+    [ ("--jobs", Arg.Set_int jobs, "N  worker domains for the grid sweep (default: cores, max 8)");
+      ("--json", Arg.Set_string json_out, "FILE  output artifact (default: BENCH_engine.json)");
+      ("--window", Arg.Int (fun w -> window_override := Some w), "N  override every workload window");
+      ("--no-grid", Arg.Set no_grid, "  skip the full-grid sweep timing");
+      ("--smoke", Arg.Set smoke, "  fast self-checking run (used by dune runtest)") ]
+    (fun a -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" a)))
+    "bench/engine_bench.exe [--jobs N] [--json FILE] [--window N] [--no-grid] [--smoke]"
+
+(* one policy per policy class; the grid section covers the rest *)
+let phase_policies =
+  [ Pf_core.Policy.No_spawn;
+    Pf_core.Policy.Postdoms;
+    Pf_core.Policy.Rec_pred;
+    Pf_core.Policy.Dmt ]
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  (v, Unix.gettimeofday () -. t0)
+
+type sim_row = { label : string; sim_s : float; metrics : Metrics.t }
+
+type workload_row = {
+  workload : string;
+  window : int;
+  instructions : int;
+  prepare_s : float;
+  flatten_s : float;
+  sims : sim_row list;
+}
+
+let measure_workload ~window_override (wl : Pf_workloads.Workload.t) =
+  let window =
+    match window_override with
+    | Some w -> w
+    | None -> wl.Pf_workloads.Workload.window
+  in
+  let prep, prepare_s =
+    time (fun () ->
+        Run.prepare wl.Pf_workloads.Workload.program
+          ~setup:wl.Pf_workloads.Workload.setup
+          ~fast_forward:wl.Pf_workloads.Workload.fast_forward ~window)
+  in
+  (* re-time the flattening pass alone: this is what `Engine.simulate`
+     used to redo for every policy before the flat trace was hoisted
+     into `Run.prepare` *)
+  let _, flatten_s =
+    time (fun () -> Pf_trace.Flat_trace.of_trace prep.Run.trace)
+  in
+  let sims =
+    List.map
+      (fun policy ->
+        let metrics, sim_s = time (fun () -> Run.simulate prep ~policy) in
+        { label = Pf_core.Policy.name policy; sim_s; metrics })
+      phase_policies
+  in
+  { workload = wl.Pf_workloads.Workload.name;
+    window;
+    instructions = Pf_trace.Tracer.length prep.Run.trace;
+    prepare_s;
+    flatten_s;
+    sims }
+
+(* ---- grid: the full workload×policy sweep, timed end to end ---- *)
+
+let grid_specs ~window_override () =
+  let policies =
+    let all =
+      Pf_core.Policy.(
+        (No_spawn :: figure9_policies) @ figure10_policies @ figure11_policies
+        @ figure12_policies @ [ Dmt ])
+    in
+    let seen = Hashtbl.create 16 in
+    List.filter
+      (fun p ->
+        let name = Pf_core.Policy.name p in
+        if Hashtbl.mem seen name then false
+        else begin
+          Hashtbl.add seen name ();
+          true
+        end)
+      all
+  in
+  List.concat_map
+    (fun w -> List.map (fun p -> Sweep.spec ?window:window_override w p) policies)
+    Pf_workloads.Suite.names
+
+(* ---- JSON document ---- *)
+
+let sim_to_json (s : sim_row) =
+  Json.Obj
+    [ ("label", Json.String s.label);
+      ("simulate_s", Json.Float s.sim_s);
+      ("cycles", Json.Int s.metrics.Metrics.cycles);
+      ("ipc", Json.Float (Metrics.ipc s.metrics)) ]
+
+let simulate_total w = List.fold_left (fun a s -> a +. s.sim_s) 0. w.sims
+
+(* what an N-policy sweep of this window pays with flattening hoisted
+   into prepare vs re-flattened per policy (the pre-rewrite pipeline) *)
+let shared_wall w = w.flatten_s +. simulate_total w
+let unshared_wall w =
+  (float_of_int (List.length w.sims) *. w.flatten_s) +. simulate_total w
+
+let workload_to_json w =
+  Json.Obj
+    [ ("workload", Json.String w.workload);
+      ("window", Json.Int w.window);
+      ("instructions", Json.Int w.instructions);
+      ("prepare_s", Json.Float w.prepare_s);
+      ("flatten_s", Json.Float w.flatten_s);
+      ("simulate_s", Json.Float (simulate_total w));
+      ("shared_wall_s", Json.Float (shared_wall w));
+      ("unshared_wall_s", Json.Float (unshared_wall w));
+      ("flatten_sharing_speedup", Json.Float (unshared_wall w /. shared_wall w));
+      ("simulate", Json.List (List.map sim_to_json w.sims)) ]
+
+let document ~tool ~wall_s ~rows ~grid =
+  let sum f = List.fold_left (fun a w -> a +. f w) 0. rows in
+  let instrs =
+    List.fold_left
+      (fun a w -> a + (w.instructions * List.length w.sims))
+      0 rows
+  in
+  let sim_s = sum simulate_total in
+  let totals =
+    Json.Obj
+      [ ("prepare_s", Json.Float (sum (fun w -> w.prepare_s)));
+        ("flatten_s", Json.Float (sum (fun w -> w.flatten_s)));
+        ("simulate_s", Json.Float sim_s);
+        ("shared_wall_s", Json.Float (sum shared_wall));
+        ("unshared_wall_s", Json.Float (sum unshared_wall));
+        ( "flatten_sharing_speedup",
+          Json.Float (sum unshared_wall /. sum shared_wall) );
+        ( "engine_minstr_per_s",
+          Json.Float (float_of_int instrs /. sim_s /. 1e6) ) ]
+  in
+  let manifest = Pf_report.Manifest.create ~tool ~jobs:!jobs ~wall_s in
+  Json.Obj
+    [ ("schema_version", Json.Int Pf_report.Manifest.schema_version);
+      ("bench", Json.String "engine");
+      ("manifest", Pf_report.Manifest.to_json manifest);
+      ("phase_policies",
+       Json.List
+         (List.map
+            (fun p -> Json.String (Pf_core.Policy.name p))
+            phase_policies));
+      ("workloads", Json.List (List.map workload_to_json rows));
+      ( "grid",
+        match grid with
+        | None -> Json.Null
+        | Some (runs, wall) ->
+            Json.Obj
+              [ ("jobs", Json.Int !jobs);
+                ("runs", Json.Int runs);
+                ("wall_s", Json.Float wall);
+                ("runs_per_s", Json.Float (float_of_int runs /. wall)) ] );
+      ("totals", totals) ]
+
+let save path json =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Json.to_string_pretty json);
+      output_char oc '\n')
+
+(* ---- smoke: fast self-check wired into dune runtest ---- *)
+
+let run_smoke () =
+  let failures = ref [] in
+  let check name ok =
+    Printf.printf "engine-bench %s: %s\n" name (if ok then "ok" else "FAIL");
+    if not ok then failures := name :: !failures
+  in
+  let rows =
+    List.map
+      (fun name ->
+        measure_workload ~window_override:(Some 2_000)
+          (Option.get (Pf_workloads.Suite.find name)))
+      [ "gzip"; "mcf" ]
+  in
+  check "phase timings present"
+    (List.for_all
+       (fun w ->
+         w.prepare_s >= 0. && w.flatten_s >= 0.
+         && List.length w.sims = List.length phase_policies)
+       rows);
+  check "windows captured" (List.for_all (fun w -> w.instructions = 2_000) rows);
+  (* parity: repeating a simulation against the same shared prepared
+     window must be byte-identical (the engine keeps no cross-run state) *)
+  let wl = Option.get (Pf_workloads.Suite.find "gzip") in
+  let a = measure_workload ~window_override:(Some 2_000) wl in
+  let fingerprint w =
+    String.concat ";"
+      (List.map
+         (fun s ->
+           Json.to_string (Pf_report.Codec.metrics_to_json s.metrics))
+         w.sims)
+  in
+  check "deterministic re-simulation"
+    (fingerprint a = fingerprint (List.hd rows));
+  (* the artifact round-trips through the JSON printer/parser *)
+  let doc = document ~tool:"engine_bench --smoke" ~wall_s:0. ~rows ~grid:None in
+  let reparsed = Json.of_string (Json.to_string_pretty doc) in
+  check "artifact round-trip"
+    (Json.to_int (Json.member "schema_version" reparsed)
+     = Pf_report.Manifest.schema_version
+    && List.length (Json.to_list (Json.member "workloads" reparsed)) = 2);
+  Printf.printf "engine-bench smoke: %s\n"
+    (if !failures = [] then "PASS" else "FAIL");
+  exit (if !failures = [] then 0 else 1)
+
+(* ---- full run ---- *)
+
+let run_full () =
+  let t_start = Unix.gettimeofday () in
+  Printf.printf "Engine microbenchmark: prepare vs simulate per workload\n";
+  let rows =
+    List.map
+      (fun name ->
+        let wl = Option.get (Pf_workloads.Suite.find name) in
+        let row = measure_workload ~window_override:!window_override wl in
+        Printf.printf
+          "  %-10s window %7d  prepare %6.3f s (flatten %6.4f s)  simulate %6.3f s over %d policies\n%!"
+          row.workload row.window row.prepare_s row.flatten_s
+          (simulate_total row) (List.length row.sims);
+        row)
+      Pf_workloads.Suite.names
+  in
+  let grid =
+    if !no_grid then None
+    else begin
+      let specs = grid_specs ~window_override:!window_override () in
+      Printf.printf "Grid sweep: %d runs, %d jobs...\n%!" (List.length specs)
+        !jobs;
+      let (runs, _), wall =
+        time (fun () -> Sweep.execute ~jobs:!jobs specs)
+      in
+      Printf.printf "  grid wall %.1f s (%.1f runs/s)\n%!" wall
+        (float_of_int (List.length runs) /. wall);
+      Some (List.length runs, wall)
+    end
+  in
+  let sum f = List.fold_left (fun a w -> a +. f w) 0. rows in
+  Printf.printf
+    "Totals: prepare %.2f s, simulate %.2f s; flatten-sharing speedup %.2fx on the phase grid\n"
+    (sum (fun w -> w.prepare_s))
+    (sum simulate_total)
+    (sum unshared_wall /. sum shared_wall);
+  let doc =
+    document
+      ~tool:(String.concat " " (Array.to_list Sys.argv))
+      ~wall_s:(Unix.gettimeofday () -. t_start)
+      ~rows ~grid
+  in
+  save !json_out doc;
+  Printf.printf "Wrote %s (schema %d)\n" !json_out
+    Pf_report.Manifest.schema_version
+
+let () = if !smoke then run_smoke () else run_full ()

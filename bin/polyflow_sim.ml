@@ -48,6 +48,7 @@ let run_cmd workload_name policy_str all_policies window json_out verbose =
   with_workload workload_name (fun w ->
       let t_start = Unix.gettimeofday () in
       let prep = prepare ?window w in
+      let prepare_s = Unix.gettimeofday () -. t_start in
       let name = w.Pf_workloads.Workload.name in
       let instructions = Pf_trace.Tracer.length prep.Pf_uarch.Run.trace in
       let static_spawns = List.length prep.Pf_uarch.Run.all_spawns in
@@ -57,8 +58,9 @@ let run_cmd workload_name policy_str all_policies window json_out verbose =
         | None -> w.Pf_workloads.Workload.window
       in
       Format.printf
-        "workload %s: %d instructions in window, %d static spawn points@." name
-        instructions static_spawns;
+        "workload %s: %d instructions in window, %d static spawn points \
+         (prepared in %.3f s, shared by every policy)@."
+        name instructions static_spawns prepare_s;
       let records = ref [] in
       let run_one ?base policy =
         let config =
@@ -68,6 +70,10 @@ let run_cmd workload_name policy_str all_policies window json_out verbose =
         in
         let t0 = Unix.gettimeofday () in
         let m = Pf_uarch.Run.simulate ~config prep ~policy in
+        let simulate_s = Unix.gettimeofday () -. t0 in
+        if verbose then
+          Format.printf "  %-22s simulate %.3f s@."
+            (Pf_core.Policy.name policy) simulate_s;
         records :=
           { Pf_report.Sweep.workload = name;
             label = Pf_core.Policy.name policy;
@@ -76,7 +82,7 @@ let run_cmd workload_name policy_str all_policies window json_out verbose =
             window = effective_window;
             instructions;
             static_spawns;
-            wall_s = Unix.gettimeofday () -. t0;
+            wall_s = simulate_s;
             metrics = m }
           :: !records;
         print_run ~verbose name policy base m;

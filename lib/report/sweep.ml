@@ -54,35 +54,48 @@ let map_pool ?progress ~jobs ~offset ~total f arr =
   else begin
     let next = Atomic.make 0 in
     let completed = Atomic.make 0 in
+    (* completion events wake the calling domain through a condition
+       variable, so progress is reported per completion and the pool
+       returns as soon as the last item finishes instead of sleeping out
+       a fixed-step poll *)
+    let mutex = Mutex.create () in
+    let cond = Condition.create () in
     let worker () =
       let rec loop () =
         let i = Atomic.fetch_and_add next 1 in
         if i < n then begin
           results.(i) <- Some (try Ok (f arr.(i)) with e -> Error e);
           Atomic.incr completed;
+          Mutex.lock mutex;
+          Condition.signal cond;
+          Mutex.unlock mutex;
           loop ()
         end
       in
       loop ()
     in
     let domains = List.init (min jobs n) (fun _ -> Domain.spawn worker) in
-    let rec poll () =
-      let c = Atomic.get completed in
-      notify c;
-      if c < n then begin
-        Unix.sleepf 0.05;
-        poll ()
-      end
-    in
-    poll ();
-    List.iter Domain.join domains;
-    notify n
+    let reported = ref 0 in
+    while !reported < n do
+      Mutex.lock mutex;
+      while Atomic.get completed = !reported do
+        Condition.wait cond mutex
+      done;
+      Mutex.unlock mutex;
+      reported := Atomic.get completed;
+      notify !reported
+    done;
+    List.iter Domain.join domains
   end;
+  (* propagate the first failure deterministically: the lowest-index
+     item's exception, independent of which worker hit it or when *)
+  Array.iter
+    (function Some (Error e) -> raise e | Some (Ok _) | None -> ())
+    results;
   Array.map
     (function
       | Some (Ok v) -> v
-      | Some (Error e) -> raise e
-      | None -> assert false)
+      | Some (Error _) | None -> assert false)
     results
 
 (* ---- sweep execution ---- *)

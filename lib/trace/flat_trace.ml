@@ -1,0 +1,76 @@
+type t = {
+  n : int;
+  pc : int array;
+  next_pc : int array;
+  taken : bool array;
+  addr : int array;
+  kind : int array;
+  lat : int array;
+  src1 : int array;
+  src2 : int array;
+  src1_sp : Bytes.t;
+  src2_sp : Bytes.t;
+  memsrc : int array;
+  backward : Bytes.t;
+}
+
+let k_plain = 0
+let k_load = 1
+let k_store = 2
+let k_branch = 3
+let k_jump = 4
+let k_call = 5
+let k_return = 6
+let k_ind_jump = 7
+let k_ind_call = 8
+
+let of_trace (trace : Tracer.t) =
+  let dyns = trace.Tracer.dyns in
+  let n = Array.length dyns in
+  if n = 0 then invalid_arg "Flat_trace.of_trace: empty trace";
+  let pc = Array.make n 0 in
+  let next_pc = Array.make n 0 in
+  let taken = Array.make n false in
+  let addr = Array.make n (-1) in
+  let kind = Array.make n 0 in
+  let lat = Array.make n 1 in
+  let src1 = Array.make n (-1) in
+  let src2 = Array.make n (-1) in
+  let src1_sp = Bytes.make n '\000' in
+  let src2_sp = Bytes.make n '\000' in
+  let memsrc = Array.make n (-1) in
+  let backward = Bytes.make n '\000' in
+  Array.iteri
+    (fun i (d : Dyn.t) ->
+      pc.(i) <- d.Dyn.pc;
+      next_pc.(i) <- d.Dyn.next_pc;
+      taken.(i) <- d.Dyn.taken;
+      addr.(i) <- d.Dyn.addr;
+      src1.(i) <- d.Dyn.src1;
+      src2.(i) <- d.Dyn.src2;
+      (match Pf_isa.Instr.uses d.Dyn.instr with
+      | [ r ] -> if r = Pf_isa.Reg.sp then Bytes.set src1_sp i '\001'
+      | [ r1; r2 ] ->
+          if r1 = Pf_isa.Reg.sp then Bytes.set src1_sp i '\001';
+          if r2 = Pf_isa.Reg.sp then Bytes.set src2_sp i '\001'
+      | _ -> ());
+      memsrc.(i) <- d.Dyn.memsrc;
+      lat.(i) <- Pf_isa.Instr.latency d.Dyn.instr;
+      kind.(i) <-
+        (match d.Dyn.instr with
+        | Pf_isa.Instr.Load _ -> k_load
+        | Pf_isa.Instr.Store _ -> k_store
+        | Pf_isa.Instr.Br (_, _, _, target) ->
+            if target < d.Dyn.pc then Bytes.set backward i '\001';
+            k_branch
+        | Pf_isa.Instr.J _ -> k_jump
+        | Pf_isa.Instr.Jal _ -> k_call
+        | Pf_isa.Instr.Jr r when r = Pf_isa.Reg.ra -> k_return
+        | Pf_isa.Instr.Jr _ -> k_ind_jump
+        | Pf_isa.Instr.Jalr _ -> k_ind_call
+        | _ -> k_plain))
+    dyns;
+  { n; pc; next_pc; taken; addr; kind; lat; src1; src2; src1_sp; src2_sp;
+    memsrc; backward }
+
+let length t = t.n

@@ -53,6 +53,9 @@ let superscalar =
 
 let polyflow = { superscalar with fetch_tasks_per_cycle = 2; max_tasks = 8 }
 
+let l1i_line_mask =
+  lnot (Pf_cache.Hierarchy.default_params.Pf_cache.Hierarchy.l1i_line - 1)
+
 let pp ppf c =
   Format.fprintf ppf
     "@[<v>Pipeline Width        %d instrs/cycle@,\

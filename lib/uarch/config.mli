@@ -51,4 +51,9 @@ val superscalar : t
 (** PolyFlow: the superscalar plus 8 task contexts. *)
 val polyflow : t
 
+(** Address mask selecting the L1 I-cache line of a PC, derived once
+    from {!Pf_cache.Hierarchy.default_params} (the fetch stage applies
+    it to every instruction). *)
+val l1i_line_mask : int
+
 val pp : Format.formatter -> t -> unit

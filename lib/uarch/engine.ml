@@ -1,6 +1,7 @@
 type input = {
   config : Config.t;
   trace : Pf_trace.Tracer.t;
+  flat : Pf_trace.Flat_trace.t;
   occurrence : Pf_trace.Occurrence.t;
   hints : Pf_core.Hint_cache.t;
   use_rec_pred : bool;
@@ -15,16 +16,16 @@ let s_sched = 3
 let s_issued = 4
 let s_retired = 5
 
-(* instruction kind codes, precomputed from the trace *)
-let k_plain = 0
-let k_load = 1
-let k_store = 2
-let k_branch = 3
-let k_jump = 4
-let k_call = 5 (* jal *)
-let k_return = 6 (* jr $ra *)
-let k_ind_jump = 7 (* jr r *)
-let k_ind_call = 8 (* jalr *)
+(* instruction kind codes (precomputed in the shared flat trace) *)
+let k_plain = Pf_trace.Flat_trace.k_plain
+let k_load = Pf_trace.Flat_trace.k_load
+let k_store = Pf_trace.Flat_trace.k_store
+let k_branch = Pf_trace.Flat_trace.k_branch
+let k_jump = Pf_trace.Flat_trace.k_jump
+let k_call = Pf_trace.Flat_trace.k_call
+let k_return = Pf_trace.Flat_trace.k_return
+let k_ind_jump = Pf_trace.Flat_trace.k_ind_jump
+let k_ind_call = Pf_trace.Flat_trace.k_ind_call
 
 (* profitability feedback for one static spawn point (Section 3.1: "the
    Spawn Unit may decide to spawn the new task, depending on dynamic
@@ -58,56 +59,33 @@ type task = {
 let simulate input =
   let cfg = input.config in
   let dyns = input.trace.Pf_trace.Tracer.dyns in
-  let n = Array.length dyns in
+  (* The flat trace is shared and immutable: every array below is read
+     only, so concurrent simulations of the same window (one per policy,
+     across worker domains) alias one copy. See docs/ENGINE.md. *)
+  let flat = input.flat in
+  let n = flat.Pf_trace.Flat_trace.n in
   if n = 0 then invalid_arg "Engine: empty trace";
-  (* ---- flatten the trace into arrays for the hot loop ---- *)
-  let pc = Array.make n 0 in
-  let next_pc = Array.make n 0 in
-  let taken = Array.make n false in
-  let addr = Array.make n (-1) in
-  let kind = Array.make n 0 in
-  let lat = Array.make n 1 in
-  let src1 = Array.make n (-1) in
-  let src2 = Array.make n (-1) in
-  let src1_sp = Bytes.make n '\000' in
-  let src2_sp = Bytes.make n '\000' in
-  let memsrc = Array.make n (-1) in
-  Array.iteri
-    (fun i (d : Pf_trace.Dyn.t) ->
-      pc.(i) <- d.Pf_trace.Dyn.pc;
-      next_pc.(i) <- d.Pf_trace.Dyn.next_pc;
-      taken.(i) <- d.Pf_trace.Dyn.taken;
-      addr.(i) <- d.Pf_trace.Dyn.addr;
-      src1.(i) <- d.Pf_trace.Dyn.src1;
-      src2.(i) <- d.Pf_trace.Dyn.src2;
-      (match Pf_isa.Instr.uses d.Pf_trace.Dyn.instr with
-      | [ r ] -> if r = Pf_isa.Reg.sp then Bytes.set src1_sp i '\001'
-      | [ r1; r2 ] ->
-          if r1 = Pf_isa.Reg.sp then Bytes.set src1_sp i '\001';
-          if r2 = Pf_isa.Reg.sp then Bytes.set src2_sp i '\001'
-      | _ -> ());
-      memsrc.(i) <- d.Pf_trace.Dyn.memsrc;
-      lat.(i) <- Pf_isa.Instr.latency d.Pf_trace.Dyn.instr;
-      kind.(i) <-
-        (match d.Pf_trace.Dyn.instr with
-        | Pf_isa.Instr.Load _ -> k_load
-        | Pf_isa.Instr.Store _ -> k_store
-        | Pf_isa.Instr.Br _ -> k_branch
-        | Pf_isa.Instr.J _ -> k_jump
-        | Pf_isa.Instr.Jal _ -> k_call
-        | Pf_isa.Instr.Jr r when r = Pf_isa.Reg.ra -> k_return
-        | Pf_isa.Instr.Jr _ -> k_ind_jump
-        | Pf_isa.Instr.Jalr _ -> k_ind_call
-        | _ -> k_plain))
-    dyns;
+  if n <> Array.length dyns then
+    invalid_arg "Engine: flat trace does not match the captured window";
+  let pc = flat.Pf_trace.Flat_trace.pc in
+  let next_pc = flat.Pf_trace.Flat_trace.next_pc in
+  let taken = flat.Pf_trace.Flat_trace.taken in
+  let addr = flat.Pf_trace.Flat_trace.addr in
+  let kind = flat.Pf_trace.Flat_trace.kind in
+  let lat = flat.Pf_trace.Flat_trace.lat in
+  let src1_sp = flat.Pf_trace.Flat_trace.src1_sp in
+  let src2_sp = flat.Pf_trace.Flat_trace.src2_sp in
+  let memsrc = flat.Pf_trace.Flat_trace.memsrc in
+  let backward = flat.Pf_trace.Flat_trace.backward in
   (* Effective per-run register sources. The spawn hint cache carries
      register-dependence information (Section 3.1); the stack pointer at
      a control-equivalent spawn target equals its value at the spawn
      point (call depth balances along every path), so a cross-task sp
      dependence is satisfied at spawn rather than through the divert
-     machinery. The fetch stage patches these copies accordingly. *)
-  let eff_src1 = Array.copy src1 in
-  let eff_src2 = Array.copy src2 in
+     machinery. The fetch stage patches these copies accordingly — they
+     are the one part of the flattened window that is per-run mutable. *)
+  let eff_src1 = Array.copy flat.Pf_trace.Flat_trace.src1 in
+  let eff_src2 = Array.copy flat.Pf_trace.Flat_trace.src2 in
   (* ---- pipeline state ---- *)
   let state = Bytes.make n '\000' in
   let get_state i = Char.code (Bytes.unsafe_get state i) in
@@ -121,7 +99,7 @@ let simulate input =
   let store_sets = Pf_predict.Store_sets.create () in
   let recpred = Pf_predict.Reconvergence.create () in
   let hier = Pf_cache.Hierarchy.create () in
-  let line_mask = lnot (Pf_cache.Hierarchy.default_params.Pf_cache.Hierarchy.l1i_line - 1) in
+  let line_mask = Config.l1i_line_mask in
   (* tasks, in program order *)
   let make_task id start_idx end_idx start_cycle origin history ras =
     { id; start_idx; end_idx; fetch_ptr = start_idx; dispatch_ptr = start_idx;
@@ -187,15 +165,24 @@ let simulate input =
   in
   let shared_hist = ref Pf_predict.Gshare.initial_history in
   let initial_ras = Pf_predict.Ras.create ~depth:cfg.Config.ras_depth () in
-  let order =
-    ref [ make_task 0 0 n 0 (-1) Pf_predict.Gshare.initial_history initial_ras ]
+  let initial_task =
+    make_task 0 0 n 0 (-1) Pf_predict.Gshare.initial_history initial_ras
   in
+  let order = ref [ initial_task ] in
+  let live = ref 1 in (* length of !order *)
+  (* owning task of every fetched instruction, maintained at fetch; a
+     refetch after a squash rewrites the same entry, so a lookup is O(1)
+     instead of a scan of the live-task list *)
+  let owner = Array.make n initial_task in
   let next_task_id = ref 1 in
   let rob_count = ref 0 in
   let sched_count = ref 0 in
   let divert_count = ref 0 in
-  let scheduler = ref [] in (* indices; valid iff state = s_sched *)
-  let divertq = ref [] in (* indices; valid iff state = s_divert *)
+  (* ready queues: index-sorted scheduler (issue priority = program
+     order, kept sorted by construction instead of List.sort per cycle)
+     and FIFO divert queue (dependence order) *)
+  let scheduler = Readyq.create ~capacity:cfg.Config.scheduler_entries () in
+  let divertq = Readyq.create ~capacity:cfg.Config.divert_entries () in
   let retire_ptr = ref 0 in
   let now = ref 0 in
   (* metrics *)
@@ -205,7 +192,7 @@ let simulate input =
   let spawn_counts = Hashtbl.create 8 in
   let bump_spawn cat =
     Hashtbl.replace spawn_counts cat
-      (1 + (try Hashtbl.find spawn_counts cat with Not_found -> 0))
+      (1 + Option.value (Hashtbl.find_opt spawn_counts cat) ~default:0)
   in
   let completed i =
     let s = get_state i in
@@ -213,7 +200,9 @@ let simulate input =
   in
   let cross i p = p >= 0 && p < tstart.(i) in
 
-  (* ---- squash: reset the violating task and everything younger ---- *)
+  (* ---- squash: reset the violating task and everything younger ----
+     Prunes the divert queue; the scheduler is swept by the caller
+     (issue, the only squash site) after its pass completes. *)
   let squash_from victim_task =
     incr m_squashes;
     let started = ref false in
@@ -250,8 +239,7 @@ let simulate input =
           end
         end)
       !order;
-    scheduler := List.filter (fun i -> get_state i = s_sched) !scheduler;
-    divertq := List.filter (fun i -> get_state i = s_divert) !divertq
+    Readyq.filter divertq (fun i -> get_state i = s_divert)
   in
 
   (* ---- retire ---- *)
@@ -267,14 +255,9 @@ let simulate input =
         if input.use_rec_pred then
           Pf_predict.Reconvergence.retire recpred ~pc:pc.(i)
             ~instr:dyns.(i).Pf_trace.Dyn.instr;
-        (* find the owning task to decrement inflight *)
-        List.iter
-          (fun t ->
-            if i >= t.start_idx && i < t.end_idx then begin
-              t.inflight <- t.inflight - 1;
-              t.rob_used <- t.rob_used - 1
-            end)
-          !order;
+        let t = owner.(i) in
+        t.inflight <- t.inflight - 1;
+        t.rob_used <- t.rob_used - 1;
         incr retire_ptr
       end
       else continue_ := false
@@ -298,6 +281,7 @@ let simulate input =
     in
     let rec drop = function
       | t :: rest when t.fetch_ptr >= t.end_idx && !retire_ptr >= t.end_idx -> (
+          decr live;
           match rest with
           | next :: _ ->
               grade next;
@@ -310,13 +294,13 @@ let simulate input =
 
   (* ---- issue ---- *)
   let issue () =
-    let candidates = List.sort compare !scheduler in
+    (* the scheduler queue is ascending by construction, so this sweep
+       visits candidates oldest-first without sorting *)
     let budget = ref cfg.Config.fus in
-    let remaining = ref [] in
-    List.iter
-      (fun i ->
-        if get_state i <> s_sched then () (* squashed, drop *)
-        else if !budget = 0 then remaining := i :: !remaining
+    let squashed_during_sweep = ref false in
+    Readyq.sweep scheduler (fun i ->
+        if get_state i <> s_sched then false (* squashed, drop *)
+        else if !budget = 0 then true
         else begin
           let rdy_reg p = p < 0 || completed p in
           let m = memsrc.(i) in
@@ -332,12 +316,10 @@ let simulate input =
               (* dependence violation: train and squash from this task *)
               Pf_predict.Store_sets.train_violation store_sets ~load_pc:pc.(i)
                 ~store_pc:pc.(m);
-              let victim =
-                List.find (fun t -> i >= t.start_idx && i < t.end_idx) !order
-              in
-              squash_from victim
-              (* note: i itself is squashed; the scheduler list is
-                 rebuilt inside squash_from *)
+              squash_from owner.(i);
+              squashed_during_sweep := true;
+              (* i itself is squashed with its task *)
+              get_state i = s_sched
             end
             else begin
               set_state i s_issued;
@@ -352,17 +334,18 @@ let simulate input =
                   lat.(i)
                 end
               in
-              complete_c.(i) <- !now + latency
+              complete_c.(i) <- !now + latency;
               (* no per-access decay: as in classic store sets, learned
                  pairs stay synchronised (decay would oscillate between
                  speculating and re-squashing on steady conflicts) *)
+              false
             end
           end
-          else remaining := i :: !remaining
-        end)
-      candidates;
-    (* squash_from may have filtered the scheduler; merge carefully *)
-    scheduler := List.filter (fun i -> get_state i = s_sched) !remaining
+          else true
+        end);
+    (* a squash invalidates entries the sweep already decided to keep *)
+    if !squashed_during_sweep then
+      Readyq.filter scheduler (fun i -> get_state i = s_sched)
   in
 
   (* Younger tasks may not exhaust the shared structures — the oldest
@@ -391,10 +374,10 @@ let simulate input =
     let oldest_start =
       match !order with t :: _ -> t.start_idx | [] -> max_int
     in
-    let remaining = ref [] in
-    List.iter
-      (fun i ->
-        if get_state i <> s_divert then ()
+    (* FIFO (= dependence) order, so a ready chain drains up to [width]
+       members in one cycle instead of rippling one per cycle *)
+    Readyq.sweep divertq (fun i ->
+        if get_state i <> s_divert then false
         else begin
           (* the oldest task's entries may use the reserved scheduler
              band, otherwise its drain could deadlock behind younger
@@ -428,17 +411,14 @@ let simulate input =
             && ok_producer eff_src1.(i) && ok_producer eff_src2.(i) && mem_ok
           then begin
             set_state i s_sched;
-            scheduler := i :: !scheduler;
+            Readyq.add_sorted scheduler i;
             incr sched_count;
             decr divert_count;
-            decr budget
+            decr budget;
+            false
           end
-          else remaining := i :: !remaining
+          else true
         end)
-      (* FIFO (= dependence) order, so a ready chain drains up to
-         [width] members in one cycle instead of rippling one per cycle *)
-      !divertq;
-    divertq := List.rev !remaining
   in
 
   (* ---- dispatch ---- *)
@@ -492,7 +472,7 @@ let simulate input =
             if reg_divert || mem_divert then begin
               if !divert_count < cfg.Config.divert_entries then begin
                 set_state i s_divert;
-                divertq := !divertq @ [ i ];
+                Readyq.push divertq i;
                 incr divert_count;
                 incr rob_count;
                 t.rob_used <- t.rob_used + 1;
@@ -504,7 +484,7 @@ let simulate input =
             end
             else if !sched_count < sched_limit then begin
               set_state i s_sched;
-              scheduler := i :: !scheduler;
+              Readyq.add_sorted scheduler i;
               incr sched_count;
               incr rob_count;
               t.rob_used <- t.rob_used + 1;
@@ -524,16 +504,21 @@ let simulate input =
       | x :: rest when x == t -> x :: t' :: rest
       | x :: rest -> x :: go rest
     in
-    order := go !order
+    order := go !order;
+    incr live
+  in
+  let rec last_task = function
+    | [ t ] -> Some t
+    | _ :: rest -> last_task rest
+    | [] -> None
   in
   let try_spawn t i candidates =
     (* Only the tail task spawns, one successor each (Section 3.2) —
        unless split spawning (the paper's Section 6 future work) is on,
        in which case any task may split its own region so that nested
        hammocks can all be spawned past. *)
-    let is_tail = match List.rev !order with tail :: _ -> tail == t | [] -> false in
-    if (is_tail || cfg.Config.split_spawning)
-       && List.length !order < cfg.Config.max_tasks
+    let is_tail = match last_task !order with Some tail -> tail == t | None -> false in
+    if (is_tail || cfg.Config.split_spawning) && !live < cfg.Config.max_tasks
     then
       let rec attempt = function
         | [] -> ()
@@ -558,8 +543,7 @@ let simulate input =
                 t.end_idx <- j;
                 insert_after t t';
                 incr m_tasks;
-                if List.length !order > !m_max_live then
-                  m_max_live := List.length !order;
+                if !live > !m_max_live then m_max_live := !live;
                 bump_spawn sp.Pf_core.Spawn_point.category
             | _ -> attempt rest)
       in
@@ -591,12 +575,7 @@ let simulate input =
            of a call is the procedure fall-through. *)
         match kind.(i) with
         | k when k = k_branch ->
-            let backward =
-              match dyns.(i).Pf_trace.Dyn.instr with
-              | Pf_isa.Instr.Br (_, _, _, target) -> target < pc.(i)
-              | _ -> false
-            in
-            if backward then
+            if Bytes.get backward i = '\001' then
               [ { Pf_core.Spawn_point.at_pc = pc.(i);
                   target_pc = pc.(i) + Pf_isa.Instr.bytes_per_instr;
                   category = Pf_core.Spawn_point.Loop_ft } ]
@@ -674,6 +653,7 @@ let simulate input =
               set_state i s_fetched;
               fetch_c.(i) <- !now;
               tstart.(i) <- t.start_idx;
+              owner.(i) <- t;
               (* control-equivalent sp: cross-task sp sources are ready *)
               if cfg.Config.sp_hint then begin
                 if eff_src1.(i) >= 0 && eff_src1.(i) < t.start_idx
@@ -776,6 +756,8 @@ let simulate input =
              "Engine self-check failed: unretired instruction %d below the               retire pointer %d"
              i !retire_ptr)
     done;
+    if List.length !order <> !live then
+      failwith "Engine self-check failed: live-task counter out of sync";
     (* task regions must partition the unretired window in order *)
     ignore
       (List.fold_left

@@ -1,0 +1,48 @@
+type t = { mutable a : int array; mutable len : int }
+
+let create ?(capacity = 64) () = { a = Array.make (max capacity 8) 0; len = 0 }
+let length q = q.len
+
+let ensure_room q =
+  if q.len = Array.length q.a then begin
+    let a' = Array.make (2 * Array.length q.a) 0 in
+    Array.blit q.a 0 a' 0 q.len;
+    q.a <- a'
+  end
+
+let push q i =
+  ensure_room q;
+  q.a.(q.len) <- i;
+  q.len <- q.len + 1
+
+let add_sorted q i =
+  ensure_room q;
+  if q.len = 0 || q.a.(q.len - 1) <= i then begin
+    q.a.(q.len) <- i;
+    q.len <- q.len + 1
+  end
+  else begin
+    (* binary search for the first position holding an element > i *)
+    let lo = ref 0 and hi = ref q.len in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if q.a.(mid) <= i then lo := mid + 1 else hi := mid
+    done;
+    Array.blit q.a !lo q.a (!lo + 1) (q.len - !lo);
+    q.a.(!lo) <- i;
+    q.len <- q.len + 1
+  end
+
+let sweep q f =
+  let w = ref 0 in
+  for r = 0 to q.len - 1 do
+    let i = q.a.(r) in
+    if f i then begin
+      if !w <> r then q.a.(!w) <- i;
+      incr w
+    end
+  done;
+  q.len <- !w
+
+let filter = sweep
+let clear q = q.len <- 0

@@ -1,0 +1,47 @@
+(** Array-backed instruction-index queues for the engine's cycle loop.
+
+    Both the scheduler and the divert queue hold small sets of
+    instruction indices that are visited in a fixed order every cycle.
+    The previous representation (OCaml lists, re-sorted with [List.sort]
+    on every issue and rebuilt with [List.filter] on every squash) made
+    the per-cycle cost proportional to allocation churn as well as
+    occupancy; these queues keep their order by construction and reuse
+    one backing array.
+
+    A queue stores raw [int] indices. Order is determined by how
+    elements are inserted: {!push} appends (FIFO — the divert queue's
+    dependence order), {!add_sorted} inserts at the index's sorted
+    position (ascending program order — the scheduler's oldest-first
+    issue priority). A single queue must use only one of the two
+    insertion functions.
+
+    Not thread-safe; every queue is private to one engine run. *)
+
+type t
+
+(** [create ~capacity ()] — [capacity] is a hint; queues grow on
+    demand. *)
+val create : ?capacity:int -> unit -> t
+
+val length : t -> int
+
+(** Append at the tail (FIFO order). O(1) amortized. *)
+val push : t -> int -> unit
+
+(** Insert keeping the queue sorted ascending. O(length) worst case,
+    O(log length) when the element belongs at the tail (the common case:
+    dispatch walks tasks in program order). *)
+val add_sorted : t -> int -> unit
+
+(** [sweep q f] visits every element in queue order and keeps exactly
+    those for which [f] returns [true], compacting in place. [f] must
+    not modify [q] (it may freely modify {e other} queues — the engine's
+    divert drain moves entries into the scheduler this way). *)
+val sweep : t -> (int -> bool) -> unit
+
+(** Same contract as {!sweep}; alias used where the intent is pruning
+    stale entries rather than a per-cycle visit. *)
+val filter : t -> (int -> bool) -> unit
+
+(** Remove all elements. *)
+val clear : t -> unit

@@ -1,6 +1,7 @@
 type prepared = {
   program : Pf_isa.Program.t;
   trace : Pf_trace.Tracer.t;
+  flat : Pf_trace.Flat_trace.t;
   occurrence : Pf_trace.Occurrence.t;
   all_spawns : Pf_core.Spawn_point.t list;
 }
@@ -12,9 +13,13 @@ let prepare program ~setup ~fast_forward ~window =
   if Pf_trace.Tracer.length trace = 0 then
     invalid_arg "Run.prepare: empty window (program halted during fast-forward?)";
   Pf_trace.Depinfo.compute trace;
+  (* flatten once, after the dependence pass: the SoA arrays are
+     immutable from here on and shared by every policy simulated against
+     this window, including concurrently on other domains *)
+  let flat = Pf_trace.Flat_trace.of_trace trace in
   let occurrence = Pf_trace.Occurrence.build trace in
   let all_spawns = Pf_core.Classify.spawn_points program in
-  { program; trace; occurrence; all_spawns }
+  { program; trace; flat; occurrence; all_spawns }
 
 let simulate ?config prepared ~policy =
   let config =
@@ -27,6 +32,7 @@ let simulate ?config prepared ~policy =
   Engine.simulate
     { Engine.config;
       trace = prepared.trace;
+      flat = prepared.flat;
       occurrence = prepared.occurrence;
       hints = Pf_core.Hint_cache.of_spawns selected;
       use_rec_pred = Pf_core.Policy.uses_reconvergence_predictor policy;

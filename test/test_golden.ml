@@ -1,0 +1,95 @@
+(* Golden parity: the engine's metrics, byte for byte.
+
+   The expected strings below were recorded from the engine BEFORE the
+   hot-loop overhaul (shared flat traces, index-based ready queues, O(1)
+   task ownership) — commit 29d07c8 — for one policy per policy class
+   plus the config variants that exercise split spawning and the ROB
+   share caps. The overhaul is a pure restructuring: any metric drift,
+   in any counter, is a bug. Keep these lines verbatim; re-record them
+   only for a change that intentionally alters timing behaviour, and say
+   so in the commit. *)
+
+open Pf_uarch
+
+let window = 4_000
+
+(* label, policy, config override (None = Sweep's per-policy default) *)
+let cases =
+  [ ("superscalar", Pf_core.Policy.No_spawn, None);
+    ("postdoms", Pf_core.Policy.Postdoms, None);
+    ( "loopFT+procFT",
+      Pf_core.Policy.Categories
+        [ Pf_core.Spawn_point.Loop_ft; Pf_core.Spawn_point.Proc_ft ],
+      None );
+    ( "postdoms-hammock",
+      Pf_core.Policy.Postdoms_minus Pf_core.Spawn_point.Hammock,
+      None );
+    ("rec_pred", Pf_core.Policy.Rec_pred, None);
+    ("dmt", Pf_core.Policy.Dmt, None);
+    ( "postdoms@split",
+      Pf_core.Policy.Postdoms,
+      Some { Config.polyflow with Config.split_spawning = true } );
+    ( "postdoms@no-rob-shares",
+      Pf_core.Policy.Postdoms,
+      Some { Config.polyflow with Config.rob_shares = false } ) ]
+
+let golden =
+  [ "gzip|superscalar|{\"instructions\":4000,\"cycles\":2400,\"ipc\":1.6666666666666667,\"branch_mispredicts\":66,\"indirect_mispredicts\":0,\"return_mispredicts\":0,\"spawns\":[],\"squashes\":0,\"squashed_instrs\":0,\"diverted\":0,\"tasks_spawned\":0,\"max_live_tasks\":1,\"l1i_misses\":4,\"l1d_misses\":10,\"l2_misses\":10,\"stall_frontend\":583,\"stall_divert\":0,\"stall_sched\":55,\"stall_exec\":758}";
+    "gzip|postdoms|{\"instructions\":4000,\"cycles\":1881,\"ipc\":2.126528442317916,\"branch_mispredicts\":62,\"indirect_mispredicts\":0,\"return_mispredicts\":0,\"spawns\":[{\"category\":\"other\",\"count\":15},{\"category\":\"hammock\",\"count\":41}],\"squashes\":0,\"squashed_instrs\":0,\"diverted\":36,\"tasks_spawned\":56,\"max_live_tasks\":8,\"l1i_misses\":4,\"l1d_misses\":10,\"l2_misses\":10,\"stall_frontend\":470,\"stall_divert\":0,\"stall_sched\":33,\"stall_exec\":591}";
+    "gzip|loopFT+procFT|{\"instructions\":4000,\"cycles\":2309,\"ipc\":1.7323516673884798,\"branch_mispredicts\":61,\"indirect_mispredicts\":0,\"return_mispredicts\":0,\"spawns\":[{\"category\":\"loopFT\",\"count\":6}],\"squashes\":0,\"squashed_instrs\":0,\"diverted\":18,\"tasks_spawned\":6,\"max_live_tasks\":2,\"l1i_misses\":4,\"l1d_misses\":10,\"l2_misses\":10,\"stall_frontend\":562,\"stall_divert\":0,\"stall_sched\":51,\"stall_exec\":728}";
+    "gzip|postdoms-hammock|{\"instructions\":4000,\"cycles\":1998,\"ipc\":2.002002002002002,\"branch_mispredicts\":56,\"indirect_mispredicts\":0,\"return_mispredicts\":0,\"spawns\":[{\"category\":\"other\",\"count\":16}],\"squashes\":0,\"squashed_instrs\":0,\"diverted\":39,\"tasks_spawned\":16,\"max_live_tasks\":6,\"l1i_misses\":4,\"l1d_misses\":10,\"l2_misses\":10,\"stall_frontend\":493,\"stall_divert\":0,\"stall_sched\":38,\"stall_exec\":664}";
+    "gzip|rec_pred|{\"instructions\":4000,\"cycles\":2114,\"ipc\":1.8921475875118259,\"branch_mispredicts\":63,\"indirect_mispredicts\":0,\"return_mispredicts\":0,\"spawns\":[{\"category\":\"other\",\"count\":15}],\"squashes\":0,\"squashed_instrs\":0,\"diverted\":36,\"tasks_spawned\":15,\"max_live_tasks\":3,\"l1i_misses\":4,\"l1d_misses\":10,\"l2_misses\":10,\"stall_frontend\":518,\"stall_divert\":0,\"stall_sched\":43,\"stall_exec\":701}";
+    "gzip|dmt|{\"instructions\":4000,\"cycles\":2309,\"ipc\":1.7323516673884798,\"branch_mispredicts\":61,\"indirect_mispredicts\":0,\"return_mispredicts\":0,\"spawns\":[{\"category\":\"loopFT\",\"count\":6}],\"squashes\":0,\"squashed_instrs\":0,\"diverted\":18,\"tasks_spawned\":6,\"max_live_tasks\":2,\"l1i_misses\":4,\"l1d_misses\":10,\"l2_misses\":10,\"stall_frontend\":562,\"stall_divert\":0,\"stall_sched\":51,\"stall_exec\":728}";
+    "gzip|postdoms@split|{\"instructions\":4000,\"cycles\":1881,\"ipc\":2.126528442317916,\"branch_mispredicts\":62,\"indirect_mispredicts\":0,\"return_mispredicts\":0,\"spawns\":[{\"category\":\"other\",\"count\":15},{\"category\":\"hammock\",\"count\":41}],\"squashes\":0,\"squashed_instrs\":0,\"diverted\":36,\"tasks_spawned\":56,\"max_live_tasks\":8,\"l1i_misses\":4,\"l1d_misses\":10,\"l2_misses\":10,\"stall_frontend\":470,\"stall_divert\":0,\"stall_sched\":33,\"stall_exec\":591}";
+    "gzip|postdoms@no-rob-shares|{\"instructions\":4000,\"cycles\":1926,\"ipc\":2.0768431983385254,\"branch_mispredicts\":69,\"indirect_mispredicts\":0,\"return_mispredicts\":0,\"spawns\":[{\"category\":\"other\",\"count\":14},{\"category\":\"hammock\",\"count\":40}],\"squashes\":0,\"squashed_instrs\":0,\"diverted\":33,\"tasks_spawned\":54,\"max_live_tasks\":8,\"l1i_misses\":4,\"l1d_misses\":10,\"l2_misses\":10,\"stall_frontend\":472,\"stall_divert\":0,\"stall_sched\":34,\"stall_exec\":622}";
+    "mcf|superscalar|{\"instructions\":4000,\"cycles\":11043,\"ipc\":0.3622204111201666,\"branch_mispredicts\":164,\"indirect_mispredicts\":0,\"return_mispredicts\":0,\"spawns\":[],\"squashes\":0,\"squashed_instrs\":0,\"diverted\":0,\"tasks_spawned\":0,\"max_live_tasks\":1,\"l1i_misses\":2,\"l1d_misses\":130,\"l2_misses\":113,\"stall_frontend\":955,\"stall_divert\":0,\"stall_sched\":147,\"stall_exec\":8554}";
+    "mcf|postdoms|{\"instructions\":4000,\"cycles\":5988,\"ipc\":0.6680026720106881,\"branch_mispredicts\":164,\"indirect_mispredicts\":0,\"return_mispredicts\":0,\"spawns\":[{\"category\":\"hammock\",\"count\":144}],\"squashes\":0,\"squashed_instrs\":0,\"diverted\":690,\"tasks_spawned\":144,\"max_live_tasks\":8,\"l1i_misses\":2,\"l1d_misses\":130,\"l2_misses\":113,\"stall_frontend\":635,\"stall_divert\":0,\"stall_sched\":89,\"stall_exec\":4238}";
+    "mcf|loopFT+procFT|{\"instructions\":4000,\"cycles\":11043,\"ipc\":0.3622204111201666,\"branch_mispredicts\":164,\"indirect_mispredicts\":0,\"return_mispredicts\":0,\"spawns\":[],\"squashes\":0,\"squashed_instrs\":0,\"diverted\":0,\"tasks_spawned\":0,\"max_live_tasks\":1,\"l1i_misses\":2,\"l1d_misses\":130,\"l2_misses\":113,\"stall_frontend\":955,\"stall_divert\":0,\"stall_sched\":147,\"stall_exec\":8554}";
+    "mcf|postdoms-hammock|{\"instructions\":4000,\"cycles\":11043,\"ipc\":0.3622204111201666,\"branch_mispredicts\":164,\"indirect_mispredicts\":0,\"return_mispredicts\":0,\"spawns\":[],\"squashes\":0,\"squashed_instrs\":0,\"diverted\":0,\"tasks_spawned\":0,\"max_live_tasks\":1,\"l1i_misses\":2,\"l1d_misses\":130,\"l2_misses\":113,\"stall_frontend\":955,\"stall_divert\":0,\"stall_sched\":147,\"stall_exec\":8554}";
+    "mcf|rec_pred|{\"instructions\":4000,\"cycles\":5976,\"ipc\":0.6693440428380187,\"branch_mispredicts\":159,\"indirect_mispredicts\":0,\"return_mispredicts\":0,\"spawns\":[{\"category\":\"other\",\"count\":137}],\"squashes\":0,\"squashed_instrs\":0,\"diverted\":676,\"tasks_spawned\":137,\"max_live_tasks\":8,\"l1i_misses\":2,\"l1d_misses\":130,\"l2_misses\":113,\"stall_frontend\":627,\"stall_divert\":0,\"stall_sched\":88,\"stall_exec\":4243}";
+    "mcf|dmt|{\"instructions\":4000,\"cycles\":11043,\"ipc\":0.3622204111201666,\"branch_mispredicts\":164,\"indirect_mispredicts\":0,\"return_mispredicts\":0,\"spawns\":[],\"squashes\":0,\"squashed_instrs\":0,\"diverted\":0,\"tasks_spawned\":0,\"max_live_tasks\":1,\"l1i_misses\":2,\"l1d_misses\":130,\"l2_misses\":113,\"stall_frontend\":955,\"stall_divert\":0,\"stall_sched\":147,\"stall_exec\":8554}";
+    "mcf|postdoms@split|{\"instructions\":4000,\"cycles\":5988,\"ipc\":0.6680026720106881,\"branch_mispredicts\":164,\"indirect_mispredicts\":0,\"return_mispredicts\":0,\"spawns\":[{\"category\":\"hammock\",\"count\":144}],\"squashes\":0,\"squashed_instrs\":0,\"diverted\":690,\"tasks_spawned\":144,\"max_live_tasks\":8,\"l1i_misses\":2,\"l1d_misses\":130,\"l2_misses\":113,\"stall_frontend\":635,\"stall_divert\":0,\"stall_sched\":89,\"stall_exec\":4238}";
+    "mcf|postdoms@no-rob-shares|{\"instructions\":4000,\"cycles\":5988,\"ipc\":0.6680026720106881,\"branch_mispredicts\":164,\"indirect_mispredicts\":0,\"return_mispredicts\":0,\"spawns\":[{\"category\":\"hammock\",\"count\":144}],\"squashes\":0,\"squashed_instrs\":0,\"diverted\":690,\"tasks_spawned\":144,\"max_live_tasks\":8,\"l1i_misses\":2,\"l1d_misses\":130,\"l2_misses\":113,\"stall_frontend\":635,\"stall_divert\":0,\"stall_sched\":89,\"stall_exec\":4238}" ]
+
+let prepare name =
+  let wl = Option.get (Pf_workloads.Suite.find name) in
+  Run.prepare wl.Pf_workloads.Workload.program
+    ~setup:wl.Pf_workloads.Workload.setup
+    ~fast_forward:wl.Pf_workloads.Workload.fast_forward ~window
+
+let actual_line prep workload (label, policy, config) =
+  let metrics =
+    match config with
+    | Some config -> Run.simulate ~config prep ~policy
+    | None -> Run.simulate prep ~policy
+  in
+  Printf.sprintf "%s|%s|%s" workload label
+    (Pf_report.Json.to_string (Pf_report.Codec.metrics_to_json metrics))
+
+let check_workload workload () =
+  let prep = prepare workload in
+  let prefix = workload ^ "|" in
+  let expected =
+    List.filter
+      (fun l -> String.length l > String.length prefix
+                && String.sub l 0 (String.length prefix) = prefix)
+      golden
+  in
+  Alcotest.(check int)
+    (workload ^ " golden case count")
+    (List.length cases) (List.length expected);
+  List.iter2
+    (fun case exp ->
+      let label, _, _ = case in
+      Alcotest.(check string)
+        (Printf.sprintf "%s/%s metrics" workload label)
+        exp
+        (actual_line prep workload case))
+    cases expected
+
+let suite =
+  [ ( "golden",
+      [ Alcotest.test_case "gzip parity vs recorded goldens" `Quick
+          (check_workload "gzip");
+        Alcotest.test_case "mcf parity vs recorded goldens" `Quick
+          (check_workload "mcf") ] ) ]
