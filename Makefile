@@ -1,8 +1,12 @@
 # Convenience targets; everything is plain dune underneath.
+# `make help` lists them.
 all:
 	dune build @all
 test:
 	dune runtest
+# Everything CI runs: full build, full test suite (unit + qcheck +
+# expect), then the end-to-end smoke sweep.
+ci: all test bench-smoke
 bench:
 	dune exec bench/main.exe
 # Tiny 2x2 sweep that validates the JSON pipeline end to end (~seconds).
@@ -16,4 +20,13 @@ doc:
 	dune build @doc
 clean:
 	dune clean
-.PHONY: all test bench bench-smoke bench-engine doc clean
+help:
+	@echo "make all          build everything"
+	@echo "make test         run the test suite (dune runtest)"
+	@echo "make ci           what CI runs: all + test + bench-smoke"
+	@echo "make bench        full figure-reproduction sweep (minutes)"
+	@echo "make bench-smoke  tiny end-to-end sweep self-check (~seconds)"
+	@echo "make bench-engine engine microbenchmark -> BENCH_engine.json"
+	@echo "make doc          build the odoc API docs"
+	@echo "make clean        remove _build"
+.PHONY: all test ci bench bench-smoke bench-engine doc clean help

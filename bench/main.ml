@@ -363,6 +363,74 @@ let stall_sources ctx =
      repair, taken-branch\nlimits, I-cache misses) and overlaps execution \
      latency with younger tasks' work.\n"
 
+(* CPI stacks: the cycle-accounting sink re-simulates a few contrasting
+   workloads on their already-prepared windows and attributes every
+   task-slot cycle to one loss source. This is the paper's Section 3
+   argument in numbers — the superscalar burns its one slot on
+   branch-mispredict repair where PolyFlow keeps control-equivalent
+   slots doing base work — and Section 4.4's: the reconvergence
+   predictor's gap vs compiler postdominators shows up as idle and
+   spawn-overhead cycles. Re-simulating with the sink attached also
+   asserts sink parity against the sweep's metrics. *)
+let cpi_workloads = [ "crafty"; "mcf"; "twolf" ]
+
+let cpi_policies =
+  [ Pf_core.Policy.No_spawn; Pf_core.Policy.Postdoms; Pf_core.Policy.Rec_pred ]
+
+let cpi_stacks ctx (prepared : Sweep.prepared_window list) =
+  section
+    "CPI stacks: task-slot cycles by loss source (percent; Sections 3 and 4.4)";
+  Printf.printf "%-10s %-12s" "benchmark" "policy";
+  for r = 0 to Pf_obs.Sink.n_reasons - 1 do
+    Printf.printf " %8s" (Pf_obs.Cpi_stack.short_name r)
+  done;
+  Printf.printf "\n";
+  hr ();
+  List.iter
+    (fun w ->
+      List.iter
+        (fun policy ->
+          let label = Pf_core.Policy.name policy in
+          let run = run_exn ctx w label in
+          let pw =
+            List.find
+              (fun (p : Sweep.prepared_window) ->
+                p.Sweep.pw_workload = w && p.Sweep.pw_window = run.Sweep.window)
+              prepared
+          in
+          let stack = Pf_obs.Cpi_stack.create () in
+          let m =
+            Run.simulate
+              ~sink:(Pf_obs.Cpi_stack.sink stack)
+              ~config:run.Sweep.config pw.Sweep.prep ~policy
+          in
+          if m <> run.Sweep.metrics then
+            failwith
+              (Printf.sprintf "%s/%s: metrics changed with a sink attached" w
+                 label);
+          for s = 0 to Pf_obs.Cpi_stack.slots stack - 1 do
+            if Pf_obs.Cpi_stack.slot_total stack s <> m.Metrics.cycles then
+              failwith
+                (Printf.sprintf "%s/%s: slot %d accounts for %d of %d cycles"
+                   w label s
+                   (Pf_obs.Cpi_stack.slot_total stack s)
+                   m.Metrics.cycles)
+          done;
+          let agg = Pf_obs.Cpi_stack.aggregate stack in
+          let tot = float_of_int (max 1 (Pf_obs.Cpi_stack.total stack)) in
+          Printf.printf "%-10s %-12s" w label;
+          Array.iter
+            (fun c -> Printf.printf " %7.1f%%" (100. *. float_of_int c /. tot))
+            agg;
+          Printf.printf "\n")
+        cpi_policies;
+      hr ())
+    cpi_workloads;
+  Printf.printf
+    "Each row sums to 100%% of that machine's task-slot cycles (slots x \
+     cycles); every slot's\ncolumn sums to the run's cycle count — verified \
+     above, and metrics are byte-identical\nwith the sink attached.\n"
+
 (* Design ablations: each of the DESIGN.md engine refinements switched
    off individually, measured on the postdoms policy. *)
 let ablations ctx =
@@ -587,10 +655,61 @@ let run_smoke () =
   in
   let runs_seq, _ = Sweep.execute ~jobs:1 smoke_specs in
   let det_ok = metrics_fingerprint runs = metrics_fingerprint runs_seq in
+  (* observability: sinks must not perturb timing, and the cycle
+     accounting must be exact (docs/OBSERVABILITY.md) *)
+  let gzip = Option.get (Pf_workloads.Suite.find "gzip") in
+  let prep =
+    Run.prepare gzip.Pf_workloads.Workload.program
+      ~setup:gzip.Pf_workloads.Workload.setup
+      ~fast_forward:gzip.Pf_workloads.Workload.fast_forward ~window:4_000
+  in
+  let plain = Run.simulate prep ~policy:Pf_core.Policy.Postdoms in
+  let stack = Pf_obs.Cpi_stack.create () in
+  let chrome = Pf_obs.Chrome_trace.create () in
+  let counters = Pf_obs.Counters.create () in
+  let sink =
+    Pf_obs.Sink.tee (Pf_obs.Cpi_stack.sink stack)
+      (Pf_obs.Chrome_trace.sink chrome)
+  in
+  let observed =
+    Run.simulate ~sink ~counters prep ~policy:Pf_core.Policy.Postdoms
+  in
+  let parity_ok = plain = observed in
+  let cpi_ok =
+    Pf_obs.Cpi_stack.slots stack = Config.polyflow.Config.max_tasks
+    && (let ok = ref true in
+        for s = 0 to Pf_obs.Cpi_stack.slots stack - 1 do
+          if Pf_obs.Cpi_stack.slot_total stack s <> observed.Metrics.cycles
+          then ok := false
+        done;
+        !ok)
+  in
+  let trace_json =
+    Pf_obs.Chrome_trace.to_json chrome ~cycles:observed.Metrics.cycles
+  in
+  let obs_ok =
+    Pf_obs.Chrome_trace.spans chrome = observed.Metrics.tasks_spawned + 1
+    && (match trace_json with
+       | Pf_report.Json.List evs ->
+           List.length evs > Pf_obs.Chrome_trace.spans chrome
+           && Pf_report.Json.of_string (Pf_report.Json.to_string trace_json)
+              = trace_json
+       | _ -> false)
+    && Pf_obs.Counters.find counters "squashes"
+       = Some observed.Metrics.squashes
+    && Pf_obs.Counters.find counters "branch_mispredicts"
+       = Some observed.Metrics.branch_mispredicts
+  in
   let ok1 = check "json round-trip" round_trip_ok "(reparsed document differs)" in
   let ok2 = check "csv arity" csv_ok "(header/row arity mismatch)" in
   let ok3 = check "determinism jobs=1 vs jobs=4" det_ok "(metric values differ)" in
-  let all_ok = ok1 && ok2 && ok3 in
+  let ok4 = check "sink parity" parity_ok "(metrics changed with sinks attached)" in
+  let ok5 = check "cpi accounting" cpi_ok "(slot rows do not sum to cycles)" in
+  let ok6 =
+    check "chrome trace + counters" obs_ok
+      "(span/event/counter bookkeeping broken)"
+  in
+  let all_ok = ok1 && ok2 && ok3 && ok4 && ok5 && ok6 in
   if !json_out <> "" then Sweep.save !json_out doc;
   Printf.printf "smoke: %s\n" (if all_ok then "PASS" else "FAIL");
   exit (if all_ok then 0 else 1)
@@ -644,6 +763,7 @@ let run_full () =
   limit_study ctx prepared;
   task_scaling ctx;
   stall_sources ctx;
+  cpi_stacks ctx prepared;
   ablations ctx;
   future_work ctx;
   if window_override = None then window_sensitivity ctx;

@@ -44,7 +44,11 @@ let print_run ~verbose name policy base m =
   Format.printf "@.";
   if verbose then Format.printf "%a@." Metrics.pp m
 
-let run_cmd workload_name policy_str all_policies window json_out verbose =
+let run_cmd workload_name policy_str all_policies window json_out cpi_stack
+    chrome_out verbose =
+  if all_policies && chrome_out <> None then
+    `Error (false, "--chrome-trace records one run; drop --all-policies")
+  else
   with_workload workload_name (fun w ->
       let t_start = Unix.gettimeofday () in
       let prep = prepare ?window w in
@@ -62,14 +66,27 @@ let run_cmd workload_name policy_str all_policies window json_out verbose =
          (prepared in %.3f s, shared by every policy)@."
         name instructions static_spawns prepare_s;
       let records = ref [] in
-      let run_one ?base policy =
+      let run_one ?base ?(record_trace = false) policy =
         let config =
           match policy with
           | Pf_core.Policy.No_spawn -> Pf_uarch.Config.superscalar
           | _ -> Pf_uarch.Config.polyflow
         in
+        (* observability: attach only the sinks asked for, so a plain
+           run still goes through the engine's null-sink fast path *)
+        let counters = Pf_obs.Counters.create () in
+        let cpi = if cpi_stack then Some (Pf_obs.Cpi_stack.create ()) else None in
+        let chrome =
+          if record_trace then Some (Pf_obs.Chrome_trace.create ()) else None
+        in
+        let sink =
+          List.fold_left Pf_obs.Sink.tee Pf_obs.Sink.null
+            (List.filter_map Fun.id
+               [ Option.map Pf_obs.Cpi_stack.sink cpi;
+                 Option.map Pf_obs.Chrome_trace.sink chrome ])
+        in
         let t0 = Unix.gettimeofday () in
-        let m = Pf_uarch.Run.simulate ~config prep ~policy in
+        let m = Pf_uarch.Run.simulate ~sink ~counters ~config prep ~policy in
         let simulate_s = Unix.gettimeofday () -. t0 in
         if verbose then
           Format.printf "  %-22s simulate %.3f s@."
@@ -83,12 +100,40 @@ let run_cmd workload_name policy_str all_policies window json_out verbose =
             instructions;
             static_spawns;
             wall_s = simulate_s;
-            metrics = m }
+            metrics = m;
+            counters = Pf_obs.Counters.to_alist counters }
           :: !records;
         print_run ~verbose name policy base m;
+        (match cpi with
+        | Some c ->
+            Format.printf "@[<v>CPI stack, %s / %s (cycles per task slot):@,%a@]@."
+              name (Pf_core.Policy.name policy) Pf_obs.Cpi_stack.pp c;
+            for s = 0 to Pf_obs.Cpi_stack.slots c - 1 do
+              if Pf_obs.Cpi_stack.slot_total c s <> m.Pf_uarch.Metrics.cycles
+              then
+                Format.printf
+                  "WARNING: slot %d accounts for %d of %d cycles@." s
+                  (Pf_obs.Cpi_stack.slot_total c s)
+                  m.Pf_uarch.Metrics.cycles
+            done
+        | None -> ());
+        (match (chrome, chrome_out) with
+        | Some tr, Some path ->
+            Pf_obs.Chrome_trace.save tr ~cycles:m.Pf_uarch.Metrics.cycles path;
+            Format.printf
+              "wrote Chrome trace (%d task spans) to %s — load in \
+               ui.perfetto.dev or chrome://tracing@."
+              (Pf_obs.Chrome_trace.spans tr) path
+        | _ -> ());
         m
       in
-      let base = run_one Pf_core.Policy.No_spawn in
+      (* --chrome-trace records the requested policy's run; when that is
+         the superscalar itself, the baseline run carries the sink *)
+      let trace_baseline =
+        chrome_out <> None
+        && Pf_core.Policy.of_string policy_str = Ok Pf_core.Policy.No_spawn
+      in
+      let base = run_one ~record_trace:trace_baseline Pf_core.Policy.No_spawn in
       let result =
         if all_policies then begin
           let policies =
@@ -106,7 +151,8 @@ let run_cmd workload_name policy_str all_policies window json_out verbose =
           match Pf_core.Policy.of_string policy_str with
           | Ok Pf_core.Policy.No_spawn -> `Ok () (* already printed *)
           | Ok policy ->
-              ignore (run_one ~base policy);
+              ignore
+                (run_one ~base ~record_trace:(chrome_out <> None) policy);
               `Ok ()
           | Error m -> `Error (false, m)
       in
@@ -344,11 +390,31 @@ let run_c =
              (docs/REPORT_SCHEMA.md), renderable with the $(b,report) \
              subcommand.")
   in
+  let cpi_t =
+    Arg.(
+      value & flag
+      & info [ "cpi-stack" ]
+          ~doc:
+            "Attach the cycle-accounting sink and print a CPI-stack table \
+             per run: every cycle of every task slot attributed to one loss \
+             source (docs/OBSERVABILITY.md).")
+  in
+  let chrome_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chrome-trace" ] ~docv:"FILE"
+          ~doc:
+            "Record the requested policy's run as a Chrome/Perfetto \
+             trace_event JSON file: one track per task slot, flow arrows \
+             for spawns, instants for squashes. Open in ui.perfetto.dev or \
+             chrome://tracing. Incompatible with $(b,--all-policies).")
+  in
   Cmd.v
     (Cmd.info "run" ~doc:"Simulate a workload under spawn policies")
     Term.(
       ret (const run_cmd $ workload_t $ policy_t $ all_policies_t $ window_t
-           $ json_t $ verbose_t))
+           $ json_t $ cpi_t $ chrome_t $ verbose_t))
 
 let report_c =
   let file_t =

@@ -1,0 +1,125 @@
+(* Span/event log, rendered lazily: hooks only append records, so a run
+   with the sink attached does no JSON work until [to_json]. *)
+
+type span = {
+  task : int;
+  sslot : int;
+  start : int;
+  mutable stop : int; (* -1 while the task is still live *)
+  parent_slot : int;
+  at_pc : int;
+}
+
+type squash = { q_cycle : int; q_slot : int; q_tasks : int; q_instrs : int }
+
+type t = {
+  mutable spans_rev : span list;
+  mutable open_spans : (int * span) list; (* slot -> its live span *)
+  mutable squashes_rev : squash list;
+  mutable max_slot : int;
+  mutable n_spans : int;
+}
+
+let create () =
+  { spans_rev = []; open_spans = []; squashes_rev = []; max_slot = -1;
+    n_spans = 0 }
+
+let sink t =
+  { Sink.null with
+    on_task_start =
+      (fun ~cycle ~slot ~task ~parent_slot ~at_pc ->
+        let sp =
+          { task; sslot = slot; start = cycle; stop = -1; parent_slot; at_pc }
+        in
+        t.spans_rev <- sp :: t.spans_rev;
+        t.open_spans <- (slot, sp) :: List.remove_assoc slot t.open_spans;
+        if slot > t.max_slot then t.max_slot <- slot;
+        t.n_spans <- t.n_spans + 1);
+    on_task_end =
+      (fun ~cycle ~slot ~task:_ ->
+        (match List.assoc_opt slot t.open_spans with
+        | Some sp -> sp.stop <- cycle
+        | None -> ());
+        t.open_spans <- List.remove_assoc slot t.open_spans);
+    on_squash =
+      (fun ~cycle ~slot ~tasks ~instrs ->
+        t.squashes_rev <-
+          { q_cycle = cycle; q_slot = slot; q_tasks = tasks;
+            q_instrs = instrs }
+          :: t.squashes_rev;
+        if slot > t.max_slot then t.max_slot <- slot) }
+
+let spans t = t.n_spans
+
+(* trace_event builders. pid is fixed (one simulated machine); tid is
+   the task slot, so each slot renders as one track. *)
+let pid = 1
+
+let ev ?(args = []) ~ph ~name ~ts ~tid extra =
+  let open Pf_json.Json in
+  Obj
+    ([ ("name", String name); ("ph", String ph); ("pid", Int pid);
+       ("tid", Int tid); ("ts", Int ts) ]
+    @ extra
+    @ (if args = [] then [] else [ ("args", Obj args) ]))
+
+let to_json t ~cycles =
+  let open Pf_json.Json in
+  let meta =
+    Obj
+      [ ("name", String "process_name"); ("ph", String "M");
+        ("pid", Int pid);
+        ("args", Obj [ ("name", String "polyflow_sim") ]) ]
+    :: List.init (t.max_slot + 1) (fun slot ->
+           Obj
+             [ ("name", String "thread_name"); ("ph", String "M");
+               ("pid", Int pid); ("tid", Int slot);
+               ("args",
+                Obj [ ("name", String (Printf.sprintf "task slot %d" slot)) ])
+             ])
+  in
+  let task_events =
+    List.concat_map
+      (fun sp ->
+        let stop = if sp.stop < 0 then cycles else sp.stop in
+        let dur = max 0 (stop - sp.start) in
+        let name = Printf.sprintf "task %d" sp.task in
+        let span_ev =
+          ev ~ph:"X" ~name ~ts:sp.start ~tid:sp.sslot
+            [ ("dur", Int dur) ]
+            ~args:
+              [ ("task", Int sp.task); ("parent_slot", Int sp.parent_slot);
+                ("spawn_pc", Int sp.at_pc) ]
+        in
+        if sp.parent_slot < 0 then [ span_ev ]
+        else
+          (* Flow arrow from the spawn point on the parent's track to
+             the start of the child's span. ids are per-flow unique:
+             task ids are. *)
+          let flow_extra = [ ("id", Int sp.task) ] in
+          [ span_ev;
+            ev ~ph:"s" ~name:"spawn" ~ts:sp.start ~tid:sp.parent_slot
+              flow_extra;
+            ev ~ph:"f" ~name:"spawn" ~ts:sp.start ~tid:sp.sslot
+              (flow_extra @ [ ("bp", String "e") ]) ])
+      (List.rev t.spans_rev)
+  in
+  let squash_events =
+    List.map
+      (fun q ->
+        ev ~ph:"i" ~name:"squash" ~ts:q.q_cycle ~tid:q.q_slot
+          [ ("s", String "p") ]
+          ~args:
+            [ ("tasks_squashed", Int q.q_tasks);
+              ("instrs_discarded", Int q.q_instrs) ])
+      (List.rev t.squashes_rev)
+  in
+  List (meta @ task_events @ squash_events)
+
+let save t ~cycles path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Pf_json.Json.to_string_pretty (to_json t ~cycles));
+      output_char oc '\n')

@@ -1,0 +1,30 @@
+(** Chrome/Perfetto [trace_event] export.
+
+    Records task lifetimes and squashes and renders them as a JSON array
+    of trace events (the "JSON Array Format" both [chrome://tracing] and
+    {{:https://ui.perfetto.dev}Perfetto} accept): one track (thread) per
+    task slot carrying a complete ("X") span per task that occupied it,
+    a flow arrow ("s"/"f") from each spawn point to the child task's
+    span, and an instant ("i") per squash. Timestamps are engine cycles
+    reported as microseconds — the viewer's time axis reads directly in
+    cycles. *)
+
+type t
+
+val create : unit -> t
+
+(** The hook record to attach. Implements [on_task_start],
+    [on_task_end] and [on_squash]; everything else stays no-op. *)
+val sink : t -> Sink.t
+
+(** Number of task spans recorded so far (open spans included). *)
+val spans : t -> int
+
+(** [to_json t ~cycles] — the finished trace event array. [cycles] (the
+    run's [Metrics.cycles]) closes spans still open at the end of the
+    run, e.g. the last live task. Also emits one metadata event naming
+    the process and each slot's track. *)
+val to_json : t -> cycles:int -> Pf_json.Json.t
+
+(** [save t ~cycles path] — write {!to_json} to [path], pretty-printed. *)
+val save : t -> cycles:int -> string -> unit

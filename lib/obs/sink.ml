@@ -1,0 +1,85 @@
+(* Slot-cycle reason codes. The engine classifies every (cycle, slot)
+   pair into exactly one of these; the codes are dense so sinks can use
+   them as array indices. *)
+let r_base = 0
+let r_icache = 1
+let r_branch_mispredict = 2
+let r_divert_wait = 3
+let r_memory = 4
+let r_squash_recovery = 5
+let r_spawn_overhead = 6
+let r_idle = 7
+let n_reasons = 8
+
+let reason_names =
+  [| "base"; "icache"; "branch_mispredict"; "divert_wait"; "memory";
+     "squash_recovery"; "spawn_overhead"; "idle" |]
+
+let reason_name r =
+  if r < 0 || r >= n_reasons then
+    invalid_arg (Printf.sprintf "Sink.reason_name: bad code %d" r);
+  reason_names.(r)
+
+type t = {
+  on_fetch : cycle:int -> slot:int -> index:int -> unit;
+  on_dispatch : cycle:int -> slot:int -> index:int -> diverted:bool -> unit;
+  on_divert_release : cycle:int -> slot:int -> index:int -> unit;
+  on_issue : cycle:int -> slot:int -> index:int -> latency:int -> unit;
+  on_retire : cycle:int -> slot:int -> index:int -> unit;
+  on_task_start : cycle:int -> slot:int -> task:int -> parent_slot:int ->
+    at_pc:int -> unit;
+  on_task_end : cycle:int -> slot:int -> task:int -> unit;
+  on_squash : cycle:int -> slot:int -> tasks:int -> instrs:int -> unit;
+  on_slot_cycle : cycle:int -> slot:int -> reason:int -> unit;
+}
+
+let null =
+  { on_fetch = (fun ~cycle:_ ~slot:_ ~index:_ -> ());
+    on_dispatch = (fun ~cycle:_ ~slot:_ ~index:_ ~diverted:_ -> ());
+    on_divert_release = (fun ~cycle:_ ~slot:_ ~index:_ -> ());
+    on_issue = (fun ~cycle:_ ~slot:_ ~index:_ ~latency:_ -> ());
+    on_retire = (fun ~cycle:_ ~slot:_ ~index:_ -> ());
+    on_task_start = (fun ~cycle:_ ~slot:_ ~task:_ ~parent_slot:_ ~at_pc:_ -> ());
+    on_task_end = (fun ~cycle:_ ~slot:_ ~task:_ -> ());
+    on_squash = (fun ~cycle:_ ~slot:_ ~tasks:_ ~instrs:_ -> ());
+    on_slot_cycle = (fun ~cycle:_ ~slot:_ ~reason:_ -> ()) }
+
+let is_null s = s == null
+
+let tee a b =
+  { on_fetch =
+      (fun ~cycle ~slot ~index ->
+        a.on_fetch ~cycle ~slot ~index;
+        b.on_fetch ~cycle ~slot ~index);
+    on_dispatch =
+      (fun ~cycle ~slot ~index ~diverted ->
+        a.on_dispatch ~cycle ~slot ~index ~diverted;
+        b.on_dispatch ~cycle ~slot ~index ~diverted);
+    on_divert_release =
+      (fun ~cycle ~slot ~index ->
+        a.on_divert_release ~cycle ~slot ~index;
+        b.on_divert_release ~cycle ~slot ~index);
+    on_issue =
+      (fun ~cycle ~slot ~index ~latency ->
+        a.on_issue ~cycle ~slot ~index ~latency;
+        b.on_issue ~cycle ~slot ~index ~latency);
+    on_retire =
+      (fun ~cycle ~slot ~index ->
+        a.on_retire ~cycle ~slot ~index;
+        b.on_retire ~cycle ~slot ~index);
+    on_task_start =
+      (fun ~cycle ~slot ~task ~parent_slot ~at_pc ->
+        a.on_task_start ~cycle ~slot ~task ~parent_slot ~at_pc;
+        b.on_task_start ~cycle ~slot ~task ~parent_slot ~at_pc);
+    on_task_end =
+      (fun ~cycle ~slot ~task ->
+        a.on_task_end ~cycle ~slot ~task;
+        b.on_task_end ~cycle ~slot ~task);
+    on_squash =
+      (fun ~cycle ~slot ~tasks ~instrs ->
+        a.on_squash ~cycle ~slot ~tasks ~instrs;
+        b.on_squash ~cycle ~slot ~tasks ~instrs);
+    on_slot_cycle =
+      (fun ~cycle ~slot ~reason ->
+        a.on_slot_cycle ~cycle ~slot ~reason;
+        b.on_slot_cycle ~cycle ~slot ~reason) }

@@ -62,6 +62,27 @@ let metrics_of_json j : Metrics.t =
     stall_sched = int "stall_sched";
     stall_exec = int "stall_exec" }
 
+(* ---- engine counters (Pf_obs.Counters dumps) ---- *)
+
+let counters_to_json (cs : (string * int) list) =
+  Json.Obj (List.map (fun (n, v) -> (n, Json.Int v)) cs)
+
+let counters_of_json j =
+  List.map (fun (n, v) -> (n, Json.to_int v)) (Json.to_obj j)
+
+(* ---- CPI stacks ---- *)
+
+let cpi_stack_to_json ~workload ~label stack =
+  Json.Obj
+    [ ("workload", Json.String workload);
+      ("label", Json.String label);
+      ("cpi_stack", Pf_obs.Cpi_stack.to_json stack) ]
+
+let cpi_stack_of_json j =
+  ( Json.to_str (Json.member "workload" j),
+    Json.to_str (Json.member "label" j),
+    Pf_obs.Cpi_stack.of_json (Json.member "cpi_stack" j) )
+
 (* ---- config ---- *)
 
 let config_to_json (c : Config.t) =

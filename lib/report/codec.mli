@@ -22,6 +22,27 @@ val metrics_to_json : Pf_uarch.Metrics.t -> Json.t
     raw counters. *)
 val metrics_of_json : Json.t -> Pf_uarch.Metrics.t
 
+(** {1 Engine counters}
+
+    A [Pf_obs.Counters] dump, attached to run records as the additive
+    schema-v1 ["counters"] field: one JSON object member per counter,
+    registration order preserved. *)
+
+val counters_to_json : (string * int) list -> Json.t
+
+val counters_of_json : Json.t -> (string * int) list
+
+(** {1 CPI stacks}
+
+    Schema-v1 record for one run's cycle accounting: identifying keys
+    plus the [Pf_obs.Cpi_stack] matrix. *)
+
+val cpi_stack_to_json :
+  workload:string -> label:string -> Pf_obs.Cpi_stack.t -> Json.t
+
+(** Returns [(workload, label, stack)]. *)
+val cpi_stack_of_json : Json.t -> string * string * Pf_obs.Cpi_stack.t
+
 (** {1 Machine configuration} *)
 
 (** All knobs of [Pf_uarch.Config.t], one JSON member per record field. *)

@@ -24,6 +24,7 @@ type run = {
   static_spawns : int;
   wall_s : float;
   metrics : Metrics.t;
+  counters : (string * int) list;
 }
 
 type prepared_window = {
@@ -170,8 +171,9 @@ let execute ?progress ~jobs specs =
       (fun ((s : spec), _, window) ->
         let prep = Hashtbl.find prep_index (s.workload, window) in
         let config = resolve_config s in
+        let reg = Pf_obs.Counters.create () in
         let t0 = Unix.gettimeofday () in
-        let metrics = Run.simulate ~config prep ~policy:s.policy in
+        let metrics = Run.simulate ~counters:reg ~config prep ~policy:s.policy in
         { workload = s.workload;
           label = s.label;
           policy = Pf_core.Policy.name s.policy;
@@ -180,7 +182,8 @@ let execute ?progress ~jobs specs =
           instructions = Pf_trace.Tracer.length prep.Run.trace;
           static_spawns = List.length prep.Run.all_spawns;
           wall_s = Unix.gettimeofday () -. t0;
-          metrics })
+          metrics;
+          counters = Pf_obs.Counters.to_alist reg })
       resolved
   in
   (Array.to_list runs, Array.to_list prepared)
@@ -205,7 +208,8 @@ let run_to_json r =
       ("static_spawns", Json.Int r.static_spawns);
       ("wall_s", Json.Float r.wall_s);
       ("config", Codec.config_to_json r.config);
-      ("metrics", Codec.metrics_to_json r.metrics) ]
+      ("metrics", Codec.metrics_to_json r.metrics);
+      ("counters", Codec.counters_to_json r.counters) ]
 
 let run_of_json j =
   { workload = Json.to_str (Json.member "workload" j);
@@ -216,7 +220,13 @@ let run_of_json j =
     static_spawns = Json.to_int (Json.member "static_spawns" j);
     wall_s = Json.to_float (Json.member "wall_s" j);
     config = Codec.config_of_json (Json.member "config" j);
-    metrics = Codec.metrics_of_json (Json.member "metrics" j) }
+    metrics = Codec.metrics_of_json (Json.member "metrics" j);
+    (* additive schema-v1 field: absent in documents written before the
+       counter registry existed *)
+    counters =
+      (match Json.member_opt "counters" j with
+      | Some c -> Codec.counters_of_json c
+      | None -> []) }
 
 let to_json t =
   Json.Obj

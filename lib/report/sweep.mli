@@ -46,6 +46,11 @@ type run = {
   static_spawns : int;        (** static spawn points of the program *)
   wall_s : float;             (** wall time of this simulation *)
   metrics : Pf_uarch.Metrics.t;
+  counters : (string * int) list;
+      (** the engine's [Pf_obs.Counters] dump in registration order —
+          every named event count, including those with no [Metrics.t]
+          field. Serialized as the additive schema-v1 ["counters"]
+          member; empty when loaded from a document predating it. *)
 }
 
 (** A prepared (workload, window) pair, exposed so callers can run

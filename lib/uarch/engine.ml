@@ -6,7 +6,12 @@ type input = {
   hints : Pf_core.Hint_cache.t;
   use_rec_pred : bool;
   use_dmt : bool;
+  sink : Pf_obs.Sink.t;
+  counters : Pf_obs.Counters.t option;
 }
+
+module Sink = Pf_obs.Sink
+module Counters = Pf_obs.Counters
 
 (* per-instruction pipeline states *)
 let s_none = 0
@@ -40,16 +45,19 @@ type spawn_stats = {
 
 type task = {
   id : int;
+  slot : int; (* task context index, 0 .. max_tasks-1; stable for life *)
   start_idx : int;
   mutable end_idx : int;
   mutable fetch_ptr : int;
   mutable dispatch_ptr : int;
   mutable stall_until : int;
+  mutable stall_reason : int; (* Sink reason code while stall_until > now *)
   mutable blocked_branch : int; (* -1 = none *)
   mutable last_line : int;
   origin : int; (* at_pc of the spawn point that created this task, or -1 *)
   mutable inflight : int;
   mutable rob_used : int; (* dispatched-but-not-retired instructions *)
+  mutable obs_ptr : int; (* cycle accounting: first maybe-incomplete index *)
   mutable history : int; (* per-task gshare global-history register *)
   history0 : int;         (* snapshot at spawn, restored on squash *)
   mutable ras : Pf_predict.Ras.t;
@@ -58,6 +66,39 @@ type task = {
 
 let simulate input =
   let cfg = input.config in
+  (* Observability. [observe] is computed once; every hook site below is
+     guarded by it, so with the null sink a simulation pays one boolean
+     test per site and never enters the per-slot accounting pass. The
+     sink must never feed back into timing — test_golden.ml holds the
+     metrics byte-identical with sinks attached and detached. *)
+  let sink = input.sink in
+  let observe = not (Sink.is_null sink) in
+  let reg =
+    match input.counters with
+    | Some r -> r
+    | None -> Counters.create ()
+  in
+  let cnt = Counters.make reg in
+  let cinc = Counters.incr in
+  let cv = Counters.value in
+  (* Event counts live in the named-counter registry (a counter handle
+     is one mutable cell — bumping it costs the same as a ref), so tools
+     can enumerate everything a run counted; Metrics is assembled from
+     the registry at the end. *)
+  let m_branch_mp = cnt "branch_mispredicts" in
+  let m_ind_mp = cnt "indirect_mispredicts" in
+  let m_ret_mp = cnt "return_mispredicts" in
+  let m_squashes = cnt "squashes" in
+  let m_squashed = cnt "squashed_instrs" in
+  let m_diverted = cnt "diverted" in
+  let m_tasks = cnt "tasks_spawned" in
+  let m_spawn_suppressed = cnt "spawn_suppressed" in
+  let m_divert_released = cnt "divert_released" in
+  let m_load_syncs = cnt "load_syncs" in
+  let m_stall_frontend = cnt "stall_frontend" in
+  let m_stall_divert = cnt "stall_divert" in
+  let m_stall_sched = cnt "stall_sched" in
+  let m_stall_exec = cnt "stall_exec" in
   let dyns = input.trace.Pf_trace.Tracer.dyns in
   (* The flat trace is shared and immutable: every array below is read
      only, so concurrent simulations of the same window (one per policy,
@@ -101,11 +142,29 @@ let simulate input =
   let hier = Pf_cache.Hierarchy.create () in
   let line_mask = Config.l1i_line_mask in
   (* tasks, in program order *)
-  let make_task id start_idx end_idx start_cycle origin history ras =
-    { id; start_idx; end_idx; fetch_ptr = start_idx; dispatch_ptr = start_idx;
-      stall_until = start_cycle; blocked_branch = -1; last_line = -1;
-      origin; inflight = 0; rob_used = 0; history; history0 = history;
-      ras = Pf_predict.Ras.copy ras; ras0 = Pf_predict.Ras.copy ras }
+  (* Slot allocation: a task occupies one of max_tasks contexts for its
+     whole life. Slots give the sinks a stable, dense identity (a CPI
+     row, a trace track) that survives the task list's mutations. *)
+  let slot_task : task option array = Array.make cfg.Config.max_tasks None in
+  let free_slot () =
+    let rec go s =
+      if s >= Array.length slot_task then
+        failwith "Engine: no free task slot (live-count out of sync)"
+      else match slot_task.(s) with None -> s | Some _ -> go (s + 1)
+    in
+    go 0
+  in
+  let make_task id slot start_idx end_idx start_cycle stall_reason origin
+      history ras =
+    let t =
+      { id; slot; start_idx; end_idx; fetch_ptr = start_idx;
+        dispatch_ptr = start_idx; stall_until = start_cycle; stall_reason;
+        blocked_branch = -1; last_line = -1; origin; inflight = 0;
+        rob_used = 0; obs_ptr = start_idx; history; history0 = history;
+        ras = Pf_predict.Ras.copy ras; ras0 = Pf_predict.Ras.copy ras }
+    in
+    slot_task.(slot) <- Some t;
+    t
   in
   (* dynamic spawn-profitability feedback, keyed by spawn-point PC *)
   let spawn_stats : (int, spawn_stats) Hashtbl.t = Hashtbl.create 64 in
@@ -160,13 +219,16 @@ let simulate input =
       else begin
         (* periodic probe so a point can rehabilitate *)
         st.suppressed <- st.suppressed + 1;
-        st.suppressed mod 16 = 0
+        let probe = st.suppressed mod 16 = 0 in
+        if not probe then cinc m_spawn_suppressed;
+        probe
       end
   in
   let shared_hist = ref Pf_predict.Gshare.initial_history in
   let initial_ras = Pf_predict.Ras.create ~depth:cfg.Config.ras_depth () in
   let initial_task =
-    make_task 0 0 n 0 (-1) Pf_predict.Gshare.initial_history initial_ras
+    make_task 0 0 0 n 0 Sink.r_base (-1) Pf_predict.Gshare.initial_history
+      initial_ras
   in
   let order = ref [ initial_task ] in
   let live = ref 1 in (* length of !order *)
@@ -185,10 +247,9 @@ let simulate input =
   let divertq = Readyq.create ~capacity:cfg.Config.divert_entries () in
   let retire_ptr = ref 0 in
   let now = ref 0 in
-  (* metrics *)
-  let m_branch_mp = ref 0 and m_ind_mp = ref 0 and m_ret_mp = ref 0 in
-  let m_squashes = ref 0 and m_squashed = ref 0 and m_diverted = ref 0 in
-  let m_tasks = ref 0 and m_max_live = ref 1 in
+  (* [m_max_live] is a high-water mark, not monotonic, so it is not a
+     registry counter *)
+  let m_max_live = ref 1 in
   let spawn_counts = Hashtbl.create 8 in
   let bump_spawn cat =
     Hashtbl.replace spawn_counts cat
@@ -204,12 +265,15 @@ let simulate input =
      Prunes the divert queue; the scheduler is swept by the caller
      (issue, the only squash site) after its pass completes. *)
   let squash_from victim_task =
-    incr m_squashes;
+    cinc m_squashes;
+    let squashed_before = cv m_squashed in
+    let tasks_hit = ref 0 in
     let started = ref false in
     List.iter
       (fun t ->
         if t == victim_task then started := true;
         if !started then begin
+          incr tasks_hit;
           let lo = max t.start_idx !retire_ptr in
           for i = lo to t.fetch_ptr - 1 do
             let s = get_state i in
@@ -220,13 +284,15 @@ let simulate input =
               if s <> s_retired then begin
                 set_state i s_none;
                 complete_c.(i) <- max_int;
-                incr m_squashed
+                cinc m_squashed
               end
             end
           done;
           t.fetch_ptr <- lo;
           t.dispatch_ptr <- lo;
+          if t.obs_ptr > lo then t.obs_ptr <- lo;
           t.stall_until <- !now + cfg.Config.squash_penalty;
+          t.stall_reason <- Sink.r_squash_recovery;
           t.blocked_branch <- -1;
           t.last_line <- -1;
           t.inflight <- 0;
@@ -239,6 +305,9 @@ let simulate input =
           end
         end)
       !order;
+    if observe then
+      sink.Sink.on_squash ~cycle:!now ~slot:victim_task.slot ~tasks:!tasks_hit
+        ~instrs:(cv m_squashed - squashed_before);
     Readyq.filter divertq (fun i -> get_state i = s_divert)
   in
 
@@ -258,6 +327,7 @@ let simulate input =
         let t = owner.(i) in
         t.inflight <- t.inflight - 1;
         t.rob_used <- t.rob_used - 1;
+        if observe then sink.Sink.on_retire ~cycle:!now ~slot:t.slot ~index:i;
         incr retire_ptr
       end
       else continue_ := false
@@ -282,6 +352,9 @@ let simulate input =
     let rec drop = function
       | t :: rest when t.fetch_ptr >= t.end_idx && !retire_ptr >= t.end_idx -> (
           decr live;
+          slot_task.(t.slot) <- None;
+          if observe then
+            sink.Sink.on_task_end ~cycle:!now ~slot:t.slot ~task:t.id;
           match rest with
           | next :: _ ->
               grade next;
@@ -335,6 +408,9 @@ let simulate input =
                 end
               in
               complete_c.(i) <- !now + latency;
+              if observe then
+                sink.Sink.on_issue ~cycle:!now ~slot:owner.(i).slot ~index:i
+                  ~latency;
               (* no per-access decay: as in classic store sets, learned
                  pairs stay synchronised (decay would oscillate between
                  speculating and re-squashing on steady conflicts) *)
@@ -415,6 +491,10 @@ let simulate input =
             incr sched_count;
             decr divert_count;
             decr budget;
+            cinc m_divert_released;
+            if observe then
+              sink.Sink.on_divert_release ~cycle:!now ~slot:owner.(i).slot
+                ~index:i;
             false
           end
           else true
@@ -460,6 +540,9 @@ let simulate input =
               if kind.(i) = k_load && cross i memsrc.(i) then
                 if Pf_predict.Store_sets.predict_sync store_sets ~load_pc:pc.(i)
                 then begin
+                  (* count each load the predictor chooses to synchronise
+                     once, even if dispatch retries or a squash refetches *)
+                  if Bytes.get synced i <> '\001' then cinc m_load_syncs;
                   Bytes.set synced i '\001';
                   not (completed memsrc.(i))
                 end
@@ -476,9 +559,12 @@ let simulate input =
                 incr divert_count;
                 incr rob_count;
                 t.rob_used <- t.rob_used + 1;
-                incr m_diverted;
+                cinc m_diverted;
                 t.dispatch_ptr <- i + 1;
-                decr budget
+                decr budget;
+                if observe then
+                  sink.Sink.on_dispatch ~cycle:!now ~slot:t.slot ~index:i
+                    ~diverted:true
               end
               else continue_ := false (* divert queue full: stall this task *)
             end
@@ -489,7 +575,10 @@ let simulate input =
               incr rob_count;
               t.rob_used <- t.rob_used + 1;
               t.dispatch_ptr <- i + 1;
-              decr budget
+              decr budget;
+              if observe then
+                sink.Sink.on_dispatch ~cycle:!now ~slot:t.slot ~index:i
+                  ~diverted:false
             end
             else continue_ := false (* scheduler full *)
           end
@@ -533,18 +622,22 @@ let simulate input =
                    && j - i <= cfg.Config.max_spawn_distance
                    && profitable sp.Pf_core.Spawn_point.at_pc ->
                 let t' =
-                  make_task !next_task_id j t.end_idx
+                  make_task !next_task_id (free_slot ()) j t.end_idx
                     (!now + cfg.Config.spawn_latency)
-                    sp.Pf_core.Spawn_point.at_pc t.history t.ras
+                    Sink.r_spawn_overhead sp.Pf_core.Spawn_point.at_pc
+                    t.history t.ras
                 in
                 (stats_for sp.Pf_core.Spawn_point.at_pc).spawned <-
                   (stats_for sp.Pf_core.Spawn_point.at_pc).spawned + 1;
                 incr next_task_id;
                 t.end_idx <- j;
                 insert_after t t';
-                incr m_tasks;
+                cinc m_tasks;
                 if !live > !m_max_live then m_max_live := !live;
-                bump_spawn sp.Pf_core.Spawn_point.category
+                bump_spawn sp.Pf_core.Spawn_point.category;
+                if observe then
+                  sink.Sink.on_task_start ~cycle:!now ~slot:t'.slot ~task:t'.id
+                    ~parent_slot:t.slot ~at_pc:sp.Pf_core.Spawn_point.at_pc
             | _ -> attempt rest)
       in
       attempt candidates
@@ -646,6 +739,7 @@ let simulate input =
               let latency = Pf_cache.Hierarchy.fetch_latency hier pc.(i) in
               if latency > 0 then begin
                 t.stall_until <- !now + latency;
+                t.stall_reason <- Sink.r_icache;
                 continue_ := false
               end
             end;
@@ -654,6 +748,8 @@ let simulate input =
               fetch_c.(i) <- !now;
               tstart.(i) <- t.start_idx;
               owner.(i) <- t;
+              if observe then
+                sink.Sink.on_fetch ~cycle:!now ~slot:t.slot ~index:i;
               (* control-equivalent sp: cross-task sp sources are ready *)
               if cfg.Config.sp_hint then begin
                 if eff_src1.(i) >= 0 && eff_src1.(i) < t.start_idx
@@ -697,7 +793,7 @@ let simulate input =
                   else t.history <- next;
                   spawn_here ();
                   if predicted <> taken.(i) then begin
-                    incr m_branch_mp;
+                    cinc m_branch_mp;
                     t.blocked_branch <- i;
                     continue_ := false
                   end
@@ -712,7 +808,7 @@ let simulate input =
                   (match Pf_predict.Ras.pop t.ras with
                   | Some target when target = next_pc.(i) -> ()
                   | Some _ | None ->
-                      incr m_ret_mp;
+                      cinc m_ret_mp;
                       t.blocked_branch <- i);
                   continue_ := false
               | k when k = k_ind_jump || k = k_ind_call ->
@@ -723,7 +819,7 @@ let simulate input =
                   (match predicted with
                   | Some tg when tg = next_pc.(i) -> ()
                   | Some _ | None ->
-                      incr m_ind_mp;
+                      cinc m_ind_mp;
                       t.blocked_branch <- i);
                   continue_ := false
               | _ -> ())
@@ -771,30 +867,71 @@ let simulate input =
   let checking =
     match Sys.getenv_opt "PF_CHECK" with Some s when s <> "" -> true | _ -> false
   in
+  (* ---- slot-cycle accounting (runs only with a sink attached) ----
+     Attributes each (cycle, slot) pair to exactly one Sink reason code,
+     inspected at the top of the cycle before any stage mutates state.
+     Priority: an explicit stall (i-cache / squash recovery / spawn
+     wait) wins, then an unresolved mispredict; otherwise the oldest
+     not-yet-complete instruction of the task names the bottleneck —
+     parked in the divert queue, an issued load in the memory hierarchy,
+     or ordinary in-flight work (base). A task with nothing incomplete
+     is doing base work while it still has fetching left, and idle when
+     its whole region is done and it merely waits to retire. [obs_ptr]
+     amortises the scan: it only moves forward past completed
+     instructions (reset on squash), so accounting stays O(1) per cycle
+     on average and touches no timing state. *)
+  let classify t =
+    if t.stall_until > !now then t.stall_reason
+    else if t.blocked_branch >= 0 then Sink.r_branch_mispredict
+    else begin
+      let p = ref t.obs_ptr in
+      while !p < t.fetch_ptr && completed !p do incr p done;
+      t.obs_ptr <- !p;
+      if !p >= t.fetch_ptr then
+        if t.fetch_ptr >= t.end_idx then Sink.r_idle else Sink.r_base
+      else
+        let s = get_state !p in
+        if s = s_divert then Sink.r_divert_wait
+        else if s = s_issued && kind.(!p) = k_load then Sink.r_memory
+        else Sink.r_base
+    end
+  in
+  let emit_slot_cycles () =
+    for s = 0 to Array.length slot_task - 1 do
+      let reason =
+        match slot_task.(s) with
+        | Some t -> classify t
+        | None -> Sink.r_idle
+      in
+      sink.Sink.on_slot_cycle ~cycle:!now ~slot:s ~reason
+    done
+  in
   (* ---- main loop ---- *)
   let debug = Sys.getenv_opt "PF_DEBUG" <> None in
   let stall_by_state = Array.make 8 0 in
   let stall_issued_kind = Array.make 16 0 in
-  let m_stall_frontend = ref 0 and m_stall_divert = ref 0 in
-  let m_stall_sched = ref 0 and m_stall_exec = ref 0 in
   let acc_rob = ref 0 and acc_sched = ref 0 and acc_oldest_rob = ref 0 in
   let acc_oldest_sched_head = ref 0 in
   let watchdog = cfg.Config.max_cycles_per_instr * n in
+  if observe then
+    sink.Sink.on_task_start ~cycle:0 ~slot:initial_task.slot
+      ~task:initial_task.id ~parent_slot:(-1) ~at_pc:(-1);
   while !retire_ptr < n do
     (if !retire_ptr < n then
        let i = !retire_ptr in
        if not (completed i) then begin
          let st = get_state i in
-         if st = s_divert then incr m_stall_divert
-         else if st = s_sched then incr m_stall_sched
-         else if st = s_issued then incr m_stall_exec
-         else incr m_stall_frontend;
+         if st = s_divert then cinc m_stall_divert
+         else if st = s_sched then cinc m_stall_sched
+         else if st = s_issued then cinc m_stall_exec
+         else cinc m_stall_frontend;
          if debug then begin
            stall_by_state.(st) <- stall_by_state.(st) + 1;
            if st = s_issued then
              stall_issued_kind.(kind.(i)) <- stall_issued_kind.(kind.(i)) + 1
          end
        end);
+    if observe then emit_slot_cycles ();
     (if debug then begin
        acc_rob := !acc_rob + !rob_count;
        acc_sched := !acc_sched + !sched_count;
@@ -819,22 +956,22 @@ let simulate input =
   done;
   { Metrics.instructions = n;
     cycles = !now;
-    branch_mispredicts = !m_branch_mp;
-    indirect_mispredicts = !m_ind_mp;
-    return_mispredicts = !m_ret_mp;
+    branch_mispredicts = cv m_branch_mp;
+    indirect_mispredicts = cv m_ind_mp;
+    return_mispredicts = cv m_ret_mp;
     spawns = Hashtbl.fold (fun c v acc -> (c, v) :: acc) spawn_counts [];
-    squashes = !m_squashes;
-    squashed_instrs = !m_squashed;
-    diverted = !m_diverted;
-    tasks_spawned = !m_tasks;
+    squashes = cv m_squashes;
+    squashed_instrs = cv m_squashed;
+    diverted = cv m_diverted;
+    tasks_spawned = cv m_tasks;
     max_live_tasks = !m_max_live;
     l1i_misses = Pf_cache.Hierarchy.l1i_misses hier;
     l1d_misses = Pf_cache.Hierarchy.l1d_misses hier;
     l2_misses = Pf_cache.Hierarchy.l2_misses hier;
-    stall_frontend = !m_stall_frontend;
-    stall_divert = !m_stall_divert;
-    stall_sched = !m_stall_sched;
-    stall_exec = !m_stall_exec }
+    stall_frontend = cv m_stall_frontend;
+    stall_divert = cv m_stall_divert;
+    stall_sched = cv m_stall_sched;
+    stall_exec = cv m_stall_exec }
   |> fun metrics ->
   if debug then
     Printf.eprintf

@@ -36,6 +36,22 @@ type input = {
   use_rec_pred : bool;              (** add dynamic reconvergence spawns *)
   use_dmt : bool;                   (** add DMT fall-through heuristics
                                         (Section 5 related work) *)
+  sink : Pf_obs.Sink.t;
+      (** event hooks, called at every pipeline boundary plus once per
+          cycle per task slot with a cycle-accounting reason code. Pass
+          [Pf_obs.Sink.null] for a plain run: the engine tests
+          [Sink.is_null] once and then skips every hook site, so an
+          unobserved simulation pays only a dead boolean test per site.
+          Sinks must never feed back into timing; [test/test_golden.ml]
+          and [test/test_obs.ml] hold metrics byte-identical with sinks
+          attached and detached. *)
+  counters : Pf_obs.Counters.t option;
+      (** registry receiving the engine's named event counts (the same
+          values {!Metrics.t} reports, plus counts with no Metrics
+          field, e.g. [spawn_suppressed], [divert_released],
+          [load_syncs]). [None] uses a private throwaway registry —
+          counting always happens; the option only controls whether the
+          caller can read the registry afterwards. *)
 }
 
 (** Run to completion (every window instruction retired).

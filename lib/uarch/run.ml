@@ -21,7 +21,7 @@ let prepare program ~setup ~fast_forward ~window =
   let all_spawns = Pf_core.Classify.spawn_points program in
   { program; trace; flat; occurrence; all_spawns }
 
-let simulate ?config prepared ~policy =
+let simulate ?(sink = Pf_obs.Sink.null) ?counters ?config prepared ~policy =
   let config =
     match (config, policy) with
     | Some c, _ -> c
@@ -36,6 +36,8 @@ let simulate ?config prepared ~policy =
       occurrence = prepared.occurrence;
       hints = Pf_core.Hint_cache.of_spawns selected;
       use_rec_pred = Pf_core.Policy.uses_reconvergence_predictor policy;
-      use_dmt = Pf_core.Policy.uses_dmt_heuristics policy }
+      use_dmt = Pf_core.Policy.uses_dmt_heuristics policy;
+      sink;
+      counters }
 
 let baseline prepared = simulate prepared ~policy:Pf_core.Policy.No_spawn

@@ -28,8 +28,17 @@ val prepare :
   prepared
 
 (** Simulate one policy. [config] defaults to {!Config.polyflow} except
-    for [Policy.No_spawn], which defaults to {!Config.superscalar}. *)
-val simulate : ?config:Config.t -> prepared -> policy:Pf_core.Policy.t -> Metrics.t
+    for [Policy.No_spawn], which defaults to {!Config.superscalar}.
+    [sink] (default {!Pf_obs.Sink.null}) attaches observability hooks
+    and [counters] a registry for the engine's named event counts — see
+    {!Engine.input} for both contracts. *)
+val simulate :
+  ?sink:Pf_obs.Sink.t ->
+  ?counters:Pf_obs.Counters.t ->
+  ?config:Config.t ->
+  prepared ->
+  policy:Pf_core.Policy.t ->
+  Metrics.t
 
 (** Superscalar baseline ([Policy.No_spawn] on {!Config.superscalar}). *)
 val baseline : prepared -> Metrics.t
