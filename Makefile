@@ -5,8 +5,9 @@ all:
 test:
 	dune runtest
 # Everything CI runs: full build, full test suite (unit + qcheck +
-# expect), then the end-to-end smoke sweep.
-ci: all test bench-smoke
+# expect, including the fixed-seed fuzz smoke), then the dedicated fuzz
+# smoke entry point and the end-to-end smoke sweep.
+ci: all test fuzz-smoke bench-smoke
 bench:
 	dune exec bench/main.exe
 # Tiny 2x2 sweep that validates the JSON pipeline end to end (~seconds).
@@ -16,6 +17,15 @@ bench-smoke:
 # full-grid sweep, written to BENCH_engine.json (see docs/ENGINE.md).
 bench-engine:
 	dune exec bench/engine_bench.exe
+# Differential fuzzing (docs/FUZZING.md). `fuzz-smoke` is the fixed-seed
+# batch CI runs; `fuzz` is an open-ended randomized campaign — findings
+# are shrunk and written to _fuzz/corpus/ as replayable repro files.
+FUZZ_SEED ?= $(shell date +%s)
+FUZZ_COUNT ?= 300
+fuzz-smoke:
+	dune exec bin/polyflow_fuzz.exe -- run --gen both --count 25 --seed 42
+fuzz:
+	dune exec bin/polyflow_fuzz.exe -- run --gen both --count $(FUZZ_COUNT) --seed $(FUZZ_SEED)
 doc:
 	dune build @doc
 clean:
@@ -23,10 +33,12 @@ clean:
 help:
 	@echo "make all          build everything"
 	@echo "make test         run the test suite (dune runtest)"
-	@echo "make ci           what CI runs: all + test + bench-smoke"
+	@echo "make ci           what CI runs: all + test + fuzz-smoke + bench-smoke"
 	@echo "make bench        full figure-reproduction sweep (minutes)"
 	@echo "make bench-smoke  tiny end-to-end sweep self-check (~seconds)"
 	@echo "make bench-engine engine microbenchmark -> BENCH_engine.json"
+	@echo "make fuzz-smoke   fixed-seed differential-fuzz batch (~seconds)"
+	@echo "make fuzz         randomized fuzz campaign (FUZZ_SEED, FUZZ_COUNT)"
 	@echo "make doc          build the odoc API docs"
 	@echo "make clean        remove _build"
-.PHONY: all test ci bench bench-smoke bench-engine doc clean help
+.PHONY: all test ci bench bench-smoke bench-engine fuzz fuzz-smoke doc clean help

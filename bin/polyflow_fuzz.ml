@@ -1,0 +1,167 @@
+(* polyflow_fuzz: differential fuzzing for the PolyFlow stack.
+
+   Subcommands:
+     run     generate random programs and cross-check the Mini
+             interpreter, the architectural machine, and the
+             speculative engine against each other
+     replay  re-run the oracle on a saved repro file
+
+   Examples:
+     polyflow_fuzz run --gen mini --count 200 --seed 42
+     polyflow_fuzz run --gen both --count 100000 --time-budget 120
+     polyflow_fuzz replay _fuzz/corpus/mini-s42-i17.repro *)
+
+open Pf_fuzz
+
+let parse_policies = function
+  | [] -> None
+  | names -> (
+      let rec parse acc = function
+        | [] -> Ok (List.rev acc)
+        | n :: rest -> (
+            match Pf_core.Policy.of_string n with
+            | Ok p -> parse (p :: acc) rest
+            | Error e -> Error e)
+      in
+      match parse [] names with
+      | Ok ps -> Some ps
+      | Error e -> raise (Invalid_argument e))
+
+let print_finding (f : Driver.finding) =
+  Format.printf "FAIL %s seed %d index %d: %s@.  %s@."
+    (Repro.gen_name f.repro.Repro.gen)
+    f.repro.Repro.seed f.repro.Repro.index f.repro.Repro.oracle
+    f.repro.Repro.detail;
+  Option.iter (Format.printf "  repro written to %s@.") f.path
+
+let run_campaign ~gen ~seed ~count ~policies ~corpus ~time_budget
+    ~shrink_budget =
+  let summary =
+    Driver.run ~gen ~seed ~count ?policies ~corpus_dir:corpus ?time_budget
+      ~shrink_budget ()
+  in
+  List.iter print_finding summary.Driver.findings;
+  Format.printf "fuzz %s: %d programs (seed %d): %s@." (Repro.gen_name gen)
+    summary.Driver.executed seed
+    (match List.length summary.Driver.findings with
+    | 0 -> "ok"
+    | n -> Printf.sprintf "%d FAILURE%s" n (if n = 1 then "" else "S"));
+  summary.Driver.findings = []
+
+let run_cmd gen_str seed count policy_names corpus time_budget shrink_budget =
+  match
+    (match gen_str with
+    | "mini" -> Ok [ Repro.Mini ]
+    | "asm" -> Ok [ Repro.Asm ]
+    | "both" -> Ok [ Repro.Mini; Repro.Asm ]
+    | s -> Error (Printf.sprintf "unknown generator %S (mini, asm or both)" s))
+  with
+  | Error e -> `Error (false, e)
+  | Ok gens -> (
+      match parse_policies policy_names with
+      | exception Invalid_argument e -> `Error (false, e)
+      | policies ->
+          (* split an overall time budget across the frontends *)
+          let time_budget =
+            Option.map
+              (fun b -> b /. float_of_int (List.length gens))
+              time_budget
+          in
+          let ok =
+            List.for_all
+              (fun gen ->
+                run_campaign ~gen ~seed ~count ~policies ~corpus ~time_budget
+                  ~shrink_budget)
+              gens
+          in
+          if ok then `Ok () else `Error (false, "oracle failures found"))
+
+let replay_cmd path policy_names =
+  match parse_policies policy_names with
+  | exception Invalid_argument e -> `Error (false, e)
+  | policies -> (
+      match Driver.replay ?policies path with
+      | Error e -> `Error (false, e)
+      | Ok (r, Oracle.Pass) ->
+          Format.printf "replay %s (%s seed %d index %d): PASS@." path
+            (Repro.gen_name r.Repro.gen)
+            r.Repro.seed r.Repro.index;
+          `Ok ()
+      | Ok (r, Oracle.Fail f) ->
+          Format.printf "replay %s (%s seed %d index %d): FAIL %s@.  %s@."
+            path
+            (Repro.gen_name r.Repro.gen)
+            r.Repro.seed r.Repro.index f.Oracle.oracle f.Oracle.detail;
+          `Error (false, "repro still fails"))
+
+open Cmdliner
+
+let policy_t =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "policy"; "p" ] ~docv:"POLICY"
+        ~doc:
+          "Restrict the engine checks to $(docv) (repeatable). Default: one \
+           representative of every policy class.")
+
+let run_t =
+  let gen_t =
+    Arg.(
+      value & opt string "both"
+      & info [ "gen"; "g" ] ~docv:"GEN"
+          ~doc:"Generator frontend: $(b,mini), $(b,asm) or $(b,both).")
+  in
+  let seed_t =
+    Arg.(
+      value & opt int 1
+      & info [ "seed"; "s" ] ~docv:"SEED" ~doc:"Campaign seed.")
+  in
+  let count_t =
+    Arg.(
+      value & opt int 100
+      & info [ "count"; "n" ] ~docv:"N"
+          ~doc:"Programs to check per frontend.")
+  in
+  let corpus_t =
+    Arg.(
+      value
+      & opt string "_fuzz/corpus"
+      & info [ "corpus" ] ~docv:"DIR" ~doc:"Where to write repro files.")
+  in
+  let budget_t =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "time-budget" ] ~docv:"SECONDS"
+          ~doc:"Stop the campaign after $(docv) (split across frontends).")
+  in
+  let shrink_t =
+    Arg.(
+      value & opt int 500
+      & info [ "shrink-budget" ] ~docv:"TRIALS"
+          ~doc:"Shrink-candidate trials per Mini finding.")
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run a fuzzing campaign")
+    Term.(
+      ret
+        (const run_cmd $ gen_t $ seed_t $ count_t $ policy_t $ corpus_t
+       $ budget_t $ shrink_t))
+
+let replay_t =
+  let file_t =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"A repro file from a previous campaign.")
+  in
+  Cmd.v
+    (Cmd.info "replay" ~doc:"Re-run the oracle on a saved repro")
+    Term.(ret (const replay_cmd $ file_t $ policy_t))
+
+let main_cmd =
+  let doc = "differential fuzzing for the PolyFlow reproduction" in
+  Cmd.group (Cmd.info "polyflow_fuzz" ~doc) [ run_t; replay_t ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,182 @@
+module Rng = Pf_workloads.Rng
+module I = Pf_isa.Instr
+module R = Pf_isa.Reg
+module Asm = Pf_isa.Asm
+
+let scratch_base = 0x200000
+let scratch_slots = 64
+let table_base = 0x300000
+
+(* Register plan (our own codegen, so conventions are by fiat):
+   s0..s3 data vars; s4/s5 loop counters by nesting depth (max 2);
+   s6 scratch base, s7 jump-table base; t0..t2 temps; leaf procedures
+   touch only a0/v0/t8/t9 (and ra via jal), so they can never clobber a
+   live loop counter. *)
+let vars = [| R.s0; R.s1; R.s2; R.s3 |]
+
+let n_leaves = 2
+
+type ctx = {
+  rng : Rng.t;
+  a : Asm.t;
+  mutable tables : int; (* indirect-dispatch sites emitted so far *)
+}
+
+let pick ctx xs = List.nth xs (Rng.int ctx.rng (List.length xs))
+let var ctx = vars.(Rng.int ctx.rng (Array.length vars))
+
+let alu_ops =
+  [ I.Add; I.Sub; I.And; I.Or; I.Xor; I.Nor; I.Slt; I.Sltu; I.Mul; I.Div;
+    I.Rem ]
+
+(* t0 <- scratch address of a masked slot (plus a width-safe byte offset
+   chosen by the caller), so every access stays inside the region. *)
+let emit_slot_addr ctx src =
+  Asm.alui ctx.a I.And R.t0 src (Int64.of_int (scratch_slots - 1));
+  Asm.alui ctx.a I.Sll R.t0 R.t0 3L;
+  Asm.alu ctx.a I.Add R.t0 R.t0 R.s6
+
+let emit_straight ctx =
+  for _ = 1 to 1 + Rng.int ctx.rng 3 do
+    match Rng.int ctx.rng 5 with
+    | 0 -> Asm.alu ctx.a (pick ctx alu_ops) (var ctx) (var ctx) (var ctx)
+    | 1 ->
+        Asm.alui ctx.a (pick ctx alu_ops) (var ctx) (var ctx)
+          (Int64.of_int (Rng.int ctx.rng 201 - 100))
+    | 2 -> Asm.li ctx.a (var ctx) (Int64.of_int (Rng.int ctx.rng 4001 - 2000))
+    | 3 ->
+        let w = pick ctx [ I.B; I.H; I.W; I.D ] in
+        let off = Rng.int ctx.rng (9 - I.width_bytes w) in
+        emit_slot_addr ctx (var ctx);
+        Asm.load ctx.a w ~signed:(Rng.bool_p ctx.rng 0.7) R.t1 R.t0 off;
+        Asm.alu ctx.a (pick ctx [ I.Add; I.Xor ]) (var ctx) (var ctx) R.t1
+    | _ ->
+        let w = pick ctx [ I.B; I.H; I.W; I.D ] in
+        let off = Rng.int ctx.rng (9 - I.width_bytes w) in
+        emit_slot_addr ctx (var ctx);
+        Asm.store ctx.a w (var ctx) R.t0 off
+  done
+
+let emit_branch ctx ~target =
+  match pick ctx [ I.Eq; I.Ne; I.Lez; I.Gtz; I.Gez; I.Ltz ] with
+  | (I.Eq | I.Ne) as cmp -> Asm.br ctx.a cmp (var ctx) (var ctx) target
+  | cmp -> Asm.br ctx.a cmp (var ctx) R.zero target
+
+let emit_call ctx =
+  Asm.jal ctx.a (Printf.sprintf "leaf%d" (Rng.int ctx.rng n_leaves))
+
+(* An indirect jump through an in-memory jump table. The table is
+   filled inline just before the dispatch (la + stores), so the table
+   load has an in-window producing store — good store-set exercise. *)
+let emit_dispatch ctx =
+  let k = pick ctx [ 2; 4 ] in
+  let toff = ctx.tables * 8 * 4 in
+  ctx.tables <- ctx.tables + 1;
+  let cases = List.init k (fun _ -> Asm.fresh ctx.a "case") in
+  let join = Asm.fresh ctx.a "ijoin" in
+  List.iteri
+    (fun j case ->
+      Asm.la ctx.a R.t2 case;
+      Asm.store ctx.a I.D R.t2 R.s7 (toff + (8 * j)))
+    cases;
+  Asm.alui ctx.a I.And R.t0 (var ctx) (Int64.of_int (k - 1));
+  Asm.alui ctx.a I.Sll R.t0 R.t0 3L;
+  Asm.alu ctx.a I.Add R.t0 R.t0 R.s7;
+  Asm.load ctx.a I.D R.t1 R.t0 toff;
+  Asm.jr ctx.a R.t1;
+  Asm.indirect_targets ctx.a cases;
+  List.iter
+    (fun case ->
+      Asm.label ctx.a case;
+      emit_straight ctx;
+      Asm.j ctx.a join)
+    cases;
+  Asm.label ctx.a join
+
+let rec emit_loop ctx ~depth ~loop_depth ~break_to:_ =
+  let counter = if loop_depth = 0 then R.s4 else R.s5 in
+  let top = Asm.fresh ctx.a "loop" in
+  let exit_ = Asm.fresh ctx.a "brk" in
+  Asm.li ctx.a counter (Int64.of_int (2 + Rng.int ctx.rng 7));
+  Asm.label ctx.a top;
+  emit_region ctx ~depth ~loop_depth:(loop_depth + 1) ~break_to:(Some exit_);
+  Asm.alui ctx.a I.Sub counter counter 1L;
+  Asm.br ctx.a I.Gtz counter R.zero top;
+  Asm.label ctx.a exit_
+
+and emit_hammock ctx ~depth ~loop_depth ~break_to =
+  let lelse = Asm.fresh ctx.a "else" in
+  let join = Asm.fresh ctx.a "join" in
+  emit_branch ctx ~target:lelse;
+  emit_region ctx ~depth ~loop_depth ~break_to;
+  Asm.j ctx.a join;
+  Asm.label ctx.a lelse;
+  emit_region ctx ~depth ~loop_depth ~break_to;
+  Asm.label ctx.a join
+
+and emit_item ctx ~depth ~loop_depth ~break_to =
+  let n_choices =
+    if depth = 0 then 3
+    else if loop_depth < 2 then if break_to <> None then 8 else 7
+    else if break_to <> None then 7
+    else 6
+  in
+  match Rng.int ctx.rng n_choices with
+  | 0 | 1 -> emit_straight ctx
+  | 2 -> emit_call ctx
+  | 3 -> emit_hammock ctx ~depth:(depth - 1) ~loop_depth ~break_to
+  | 4 -> emit_dispatch ctx
+  | 5 -> emit_hammock ctx ~depth:(depth - 1) ~loop_depth ~break_to
+  | 6 when loop_depth < 2 ->
+      emit_loop ctx ~depth:(depth - 1) ~loop_depth ~break_to
+  | _ -> (
+      (* conditional break out of the innermost loop (or a loop when
+         the nest is already two deep) *)
+      match break_to with
+      | Some l -> emit_branch ctx ~target:l
+      | None -> emit_loop ctx ~depth:(depth - 1) ~loop_depth ~break_to)
+
+and emit_region ctx ~depth ~loop_depth ~break_to =
+  for _ = 1 to 1 + Rng.int ctx.rng 3 do
+    emit_item ctx ~depth ~loop_depth ~break_to
+  done
+
+let emit_leaf ctx k =
+  Asm.proc ctx.a (Printf.sprintf "leaf%d" k);
+  Asm.li ctx.a R.t8 (Int64.of_int scratch_base);
+  for _ = 1 to 1 + Rng.int ctx.rng 3 do
+    match Rng.int ctx.rng 3 with
+    | 0 ->
+        Asm.alu ctx.a (pick ctx [ I.Add; I.Xor; I.Mul ]) R.t9 R.a0 R.t9
+    | 1 ->
+        Asm.alui ctx.a I.And R.t9 R.a0 (Int64.of_int (scratch_slots - 1));
+        Asm.alui ctx.a I.Sll R.t9 R.t9 3L;
+        Asm.alu ctx.a I.Add R.t9 R.t9 R.t8;
+        Asm.load ctx.a I.D R.v0 R.t9 0
+    | _ -> Asm.alui ctx.a I.Add R.v0 R.t9 1L
+  done;
+  Asm.jr ctx.a R.ra
+
+let generate ~seed =
+  let ctx = { rng = Rng.create ~seed; a = Asm.create ~base:0x1000 (); tables = 0 } in
+  let a = ctx.a in
+  Asm.proc a "main";
+  Asm.li a R.s6 (Int64.of_int scratch_base);
+  Asm.li a R.s7 (Int64.of_int table_base);
+  Array.iter
+    (fun r -> Asm.li a r (Int64.of_int (Rng.int ctx.rng 4001 - 2000)))
+    vars;
+  emit_region ctx ~depth:2 ~loop_depth:0 ~break_to:None;
+  (* at least one loop always, so the dynamic window has some length *)
+  emit_loop ctx ~depth:1 ~loop_depth:0 ~break_to:None;
+  emit_region ctx ~depth:2 ~loop_depth:0 ~break_to:None;
+  (* result: a mixed word of the data registers, in scratch slot 0 *)
+  Asm.alu a I.Xor R.t0 R.s0 R.s1;
+  Asm.alu a I.Add R.t0 R.t0 R.s2;
+  Asm.alu a I.Xor R.t0 R.t0 R.s3;
+  Asm.store a I.D R.t0 R.s6 0;
+  Asm.halt a;
+  for k = 0 to n_leaves - 1 do
+    emit_leaf ctx k
+  done;
+  Asm.assemble a ~entry:"main"

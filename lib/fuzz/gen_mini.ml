@@ -1,0 +1,157 @@
+module Rng = Pf_workloads.Rng
+module I = Pf_isa.Instr
+open Pf_mini.Ast
+
+let arr_slots = 16
+
+(* [vars] is the set of names an expression may read: the enclosing
+   function's bound locals plus the 8-byte global scalars. *)
+type ctx = { rng : Rng.t; mutable loops : int; mutable vars : string list }
+
+let fresh_k ctx =
+  ctx.loops <- ctx.loops + 1;
+  Printf.sprintf "k%d_" ctx.loops
+
+let pick ctx xs = List.nth xs (Rng.int ctx.rng (List.length xs))
+
+let small ctx = i (Rng.int ctx.rng 201 - 100)
+
+(* Address of a random array slot: masking keeps every access inside
+   ["arr"], so the machine never clobbers the jump tables the compiler
+   lays out after the globals (where the interpreter, which has no
+   tables, would diverge). *)
+let slot e = Addr "arr" +: ((e &: i (arr_slots - 1)) <<: i 3)
+
+let rec expr ctx depth =
+  if depth = 0 then
+    if Rng.int ctx.rng 3 = 0 then small ctx else v (pick ctx ctx.vars)
+  else
+    let sub () = expr ctx (depth - 1) in
+    match Rng.int ctx.rng 17 with
+    | 0 -> small ctx
+    | 1 -> v (pick ctx ctx.vars)
+    | 2 -> sub () +: sub ()
+    | 3 -> sub () -: sub ()
+    | 4 -> sub () *: sub ()
+    | 5 -> sub () /: sub ()
+    | 6 -> sub () %: sub ()
+    | 7 -> sub () &: sub ()
+    | 8 -> sub () |: sub ()
+    | 9 -> sub () ^: sub ()
+    | 10 -> Binop (pick ctx [ I.Nor; I.Slt; I.Sltu; I.Srl ], sub (), sub ())
+    | 11 -> sub () <<: i (Rng.int ctx.rng 4)
+    | 12 -> sub () >>: i (Rng.int ctx.rng 4)
+    | 13 -> Cmp (pick ctx [ Req; Rne; Rlt; Rle; Rgt; Rge ], sub (), sub ())
+    | 14 -> ld8 (slot (sub ()))
+    | _ ->
+        (* narrow load, signed or unsigned, at a byte offset that keeps
+           the whole access inside the 8-byte slot *)
+        let w = pick ctx [ I.B; I.H; I.W ] in
+        let off = Rng.int ctx.rng (9 - I.width_bytes w) in
+        Load (w, Rng.bool_p ctx.rng 0.7, slot (sub ()) +: i off)
+
+let writable ctx = pick ctx ctx.vars
+
+let rec stmt ctx ~in_loop ~depth =
+  let block ?(in_loop = in_loop) d =
+    List.init (1 + Rng.int ctx.rng 3) (fun _ -> stmt ctx ~in_loop ~depth:d)
+  in
+  let n_choices = if depth = 0 then 5 else if in_loop then 13 else 12 in
+  match Rng.int ctx.rng n_choices with
+  | 0 | 1 -> Set (writable ctx, expr ctx 2)
+  | 2 ->
+      let w = pick ctx [ I.D; I.D; I.W; I.H; I.B ] in
+      let off = Rng.int ctx.rng (9 - I.width_bytes w) in
+      Store (w, slot (expr ctx 1) +: i off, expr ctx 2)
+  | 3 -> Let ("t_", Call ("helper", [ expr ctx 2 ]))
+  | 4 -> Let ("t_", Call ("recur", [ expr ctx 1 &: i 7 ]))
+  | 5 -> Call_stmt ("mix3", [ expr ctx 1; expr ctx 1; expr ctx 0 ])
+  | 6 -> Let ("t_", Call ("leaf", [ expr ctx 1 ]))
+  | 7 -> If (expr ctx 2, block (depth - 1), block (depth - 1))
+  | 8 ->
+      (* bounded loop: a dedicated fresh counter per loop, so nested
+         loops cannot interfere and every loop terminates *)
+      let k = fresh_k ctx in
+      let n = 1 + Rng.int ctx.rng 6 in
+      If
+        ( Const 1L,
+          [ Let (k, i 0);
+            While
+              ( v k <: i n,
+                block ~in_loop:true (depth - 1) @ [ Set (k, v k +: i 1) ] ) ],
+          [] )
+  | 9 ->
+      let k = fresh_k ctx in
+      let n = 1 + Rng.int ctx.rng 4 in
+      If
+        ( Const 1L,
+          [ Let (k, i 0);
+            Do_while
+              ( block ~in_loop:true (depth - 1) @ [ Set (k, v k +: i 1) ],
+                v k <: i n ) ],
+          [] )
+  | 10 ->
+      let n_cases = 2 + Rng.int ctx.rng 3 in
+      let masked = Rng.bool_p ctx.rng 0.8 in
+      let sel = if masked then expr ctx 1 &: i 3 else expr ctx 1 in
+      Switch
+        ( sel,
+          List.init n_cases (fun k -> (k, block (depth - 1))),
+          [ Set ("g1", i (-1)) ] )
+  | 11 -> Set (writable ctx, expr ctx 3)
+  | _ -> If (expr ctx 2, [ Break ], [])
+
+let helper_funcs =
+  [ { name = "helper"; params = [ "x" ];
+      body =
+        [ If
+            ( v "x" <: i 0,
+              [ Return (Some (i 0 -: v "x")) ],
+              [ Return (Some ((v "x" *: i 3) +: i 1)) ] ) ] };
+    { name = "mix3"; params = [ "x"; "y"; "z" ];
+      body =
+        [ Let ("t", (v "x" ^: v "y") +: (v "z" <<: i 1));
+          If (v "t" >: i 1000, [ Set ("g2", v "g2" +: i 1) ], []);
+          Return (Some (v "t" &: i 0xffff)) ] };
+    (* bounded recursion: the argument is clamped by every caller and
+       strictly decreases, so depth is at most 7 *)
+    { name = "recur"; params = [ "n" ];
+      body =
+        [ If (v "n" <=: i 0, [ Return (Some (i 1)) ], []);
+          Let ("r", Call ("recur", [ v "n" -: i 1 ]));
+          Return (Some ((v "r" *: i 3) ^: v "n")) ] } ]
+
+(* A per-seed leaf function: random straight-line body (no calls, no
+   loops), so the static CFG shape varies between programs. *)
+let leaf_func ctx =
+  ctx.vars <- [ "x"; "g1"; "g2" ];
+  let body =
+    List.init
+      (1 + Rng.int ctx.rng 3)
+      (fun _ ->
+        match Rng.int ctx.rng 3 with
+        | 0 -> Set ("g2", expr ctx 2)
+        | 1 -> Store (I.D, slot (expr ctx 1), v "x" +: expr ctx 1)
+        | _ -> Set ("g1", expr ctx 2))
+  in
+  { name = "leaf"; params = [ "x" ]; body = body @ [ Return (Some (expr ctx 1)) ] }
+
+let generate ~seed =
+  let ctx =
+    { rng = Rng.create ~seed;
+      loops = 0;
+      vars = [ "a"; "b"; "c"; "g1"; "g2" ] }
+  in
+  let n_top = 4 + Rng.int ctx.rng 6 in
+  let body =
+    [ Let ("a", small ctx); Let ("b", small ctx); Let ("c", small ctx) ]
+    @ List.init n_top (fun _ -> stmt ctx ~in_loop:false ~depth:2)
+    @ [ Set
+          ( "result",
+            ((v "a" +: v "b") ^: v "c")
+            +: ((v "g1" <<: i 1) -: v "g2")
+            +: ld8 (Addr "arr") ) ]
+  in
+  let leaf = leaf_func ctx in
+  { funcs = { name = "main"; params = []; body } :: leaf :: helper_funcs;
+    globals = [ ("result", 8); ("g1", 8); ("g2", 8); ("arr", 8 * arr_slots) ] }

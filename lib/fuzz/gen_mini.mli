@@ -1,0 +1,21 @@
+(** Seeded random Mini programs for differential fuzzing.
+
+    Every generated program terminates by construction — loops run a
+    dedicated fresh counter for a bounded iteration count, the recursive
+    helper decrements a clamped argument — so the interpreter's fuel and
+    the machine's instruction budget are safety nets, not part of the
+    contract. Programs exercise nested loops (bounded [While] /
+    [Do_while]), [If] hammocks, jump-table [Switch] dispatch, calls
+    (including bounded recursion), global scalars, and byte/half/word/
+    double loads and stores (signed {e and} unsigned) over a masked
+    global array, so every access stays inside the array.
+
+    Generation is a pure function of the seed (it draws from a private
+    {!Pf_workloads.Rng}): the same seed always yields the same program,
+    which is what makes campaign failures replayable from
+    [(seed, index)] alone. *)
+
+(** Number of 8-byte slots in the global array ["arr"]. *)
+val arr_slots : int
+
+val generate : seed:int -> Pf_mini.Ast.program

@@ -1,0 +1,248 @@
+open Pf_mini.Ast
+module I = Pf_isa.Instr
+
+(* ------------------------------------------------------------------ *)
+(* S-expressions                                                       *)
+
+type sexp = Atom of string | List of sexp list
+
+exception Parse_error of int * string
+
+let parse_sexps text =
+  let n = String.length text in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some text.[!pos] else None in
+  let skip_ws () =
+    while
+      !pos < n
+      && (match text.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      incr pos
+    done
+  in
+  let is_atom_char c =
+    match c with
+    | '(' | ')' | ' ' | '\t' | '\n' | '\r' -> false
+    | _ -> true
+  in
+  let rec sexp () =
+    skip_ws ();
+    match peek () with
+    | None -> raise (Parse_error (!pos, "unexpected end of input"))
+    | Some '(' ->
+        incr pos;
+        let items = ref [] in
+        let rec loop () =
+          skip_ws ();
+          match peek () with
+          | Some ')' ->
+              incr pos;
+              List (List.rev !items)
+          | None -> raise (Parse_error (!pos, "unclosed '('"))
+          | Some _ ->
+              items := sexp () :: !items;
+              loop ()
+        in
+        loop ()
+    | Some ')' -> raise (Parse_error (!pos, "unexpected ')'"))
+    | Some _ ->
+        let start = !pos in
+        while !pos < n && is_atom_char text.[!pos] do
+          incr pos
+        done;
+        Atom (String.sub text start (!pos - start))
+  in
+  let top = sexp () in
+  skip_ws ();
+  if !pos <> n then raise (Parse_error (!pos, "trailing input after program"));
+  top
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+
+let width_name = function I.B -> "b" | I.H -> "h" | I.W -> "w" | I.D -> "d"
+
+let alu_name = function
+  | I.Add -> "add" | I.Sub -> "sub" | I.And -> "and" | I.Or -> "or"
+  | I.Xor -> "xor" | I.Nor -> "nor" | I.Sll -> "sll" | I.Srl -> "srl"
+  | I.Sra -> "sra" | I.Slt -> "slt" | I.Sltu -> "sltu" | I.Mul -> "mul"
+  | I.Div -> "div" | I.Rem -> "rem"
+
+let rel_name = function
+  | Req -> "eq" | Rne -> "ne" | Rlt -> "lt" | Rle -> "le" | Rgt -> "gt"
+  | Rge -> "ge"
+
+let rec sexp_of_expr = function
+  | Const v -> List [ Atom "i"; Atom (Int64.to_string v) ]
+  | Var x -> Atom x
+  | Addr g -> List [ Atom "addr"; Atom g ]
+  | Load (w, signed, e) ->
+      List
+        [ Atom "ld"; Atom (width_name w); Atom (if signed then "s" else "u");
+          sexp_of_expr e ]
+  | Binop (op, a, b) ->
+      List [ Atom (alu_name op); sexp_of_expr a; sexp_of_expr b ]
+  | Cmp (r, a, b) -> List [ Atom (rel_name r); sexp_of_expr a; sexp_of_expr b ]
+  | Call (f, args) -> List (Atom "call" :: Atom f :: List.map sexp_of_expr args)
+
+let rec sexp_of_stmt = function
+  | Let (x, e) -> List [ Atom "let"; Atom x; sexp_of_expr e ]
+  | Set (x, e) -> List [ Atom "set"; Atom x; sexp_of_expr e ]
+  | Store (w, ea, ev) ->
+      List [ Atom "st"; Atom (width_name w); sexp_of_expr ea; sexp_of_expr ev ]
+  | If (c, t, e) ->
+      List
+        [ Atom "if"; sexp_of_expr c; List (List.map sexp_of_stmt t);
+          List (List.map sexp_of_stmt e) ]
+  | While (c, body) ->
+      List (Atom "while" :: sexp_of_expr c :: List.map sexp_of_stmt body)
+  | Do_while (body, c) ->
+      List [ Atom "dowhile"; List (List.map sexp_of_stmt body); sexp_of_expr c ]
+  | Switch (sel, cases, default) ->
+      List
+        [ Atom "switch"; sexp_of_expr sel;
+          List
+            (List.map
+               (fun (k, body) ->
+                 List (Atom (string_of_int k) :: List.map sexp_of_stmt body))
+               cases);
+          List (List.map sexp_of_stmt default) ]
+  | Call_stmt (f, args) ->
+      List (Atom "call!" :: Atom f :: List.map sexp_of_expr args)
+  | Return (Some e) -> List [ Atom "return"; sexp_of_expr e ]
+  | Return None -> List [ Atom "return" ]
+  | Break -> List [ Atom "break" ]
+
+let sexp_of_program (p : program) =
+  List
+    (Atom "program"
+    :: List
+         (Atom "globals"
+         :: List.map
+              (fun (g, size) ->
+                List [ Atom g; Atom (string_of_int size) ])
+              p.globals)
+    :: List.map
+         (fun (f : func) ->
+           List
+             (Atom "func" :: Atom f.name
+             :: List (List.map (fun x -> Atom x) f.params)
+             :: List.map sexp_of_stmt f.body))
+         p.funcs)
+
+let rec print_sexp ppf = function
+  | Atom a -> Format.pp_print_string ppf a
+  | List items ->
+      Format.fprintf ppf "@[<hv 1>(%a)@]"
+        (Format.pp_print_list ~pp_sep:Format.pp_print_space print_sexp)
+        items
+
+let print ppf p = Format.fprintf ppf "%a@." print_sexp (sexp_of_program p)
+
+let to_string p = Format.asprintf "%a" print p
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+
+let err fmt = Printf.ksprintf (fun m -> raise (Parse_error (0, m))) fmt
+
+let width_of_name = function
+  | "b" -> I.B | "h" -> I.H | "w" -> I.W | "d" -> I.D
+  | s -> err "unknown width %S" s
+
+let alu_of_name = function
+  | "add" -> Some I.Add | "sub" -> Some I.Sub | "and" -> Some I.And
+  | "or" -> Some I.Or | "xor" -> Some I.Xor | "nor" -> Some I.Nor
+  | "sll" -> Some I.Sll | "srl" -> Some I.Srl | "sra" -> Some I.Sra
+  | "slt" -> Some I.Slt | "sltu" -> Some I.Sltu | "mul" -> Some I.Mul
+  | "div" -> Some I.Div | "rem" -> Some I.Rem | _ -> None
+
+let rel_of_name = function
+  | "eq" -> Some Req | "ne" -> Some Rne | "lt" -> Some Rlt | "le" -> Some Rle
+  | "gt" -> Some Rgt | "ge" -> Some Rge | _ -> None
+
+let int_of_atom s =
+  match int_of_string_opt s with Some k -> k | None -> err "expected integer, got %S" s
+
+let rec expr_of_sexp = function
+  | Atom x -> Var x
+  | List [ Atom "i"; Atom v ] -> (
+      match Int64.of_string_opt v with
+      | Some v -> Const v
+      | None -> err "bad integer literal %S" v)
+  | List [ Atom "addr"; Atom g ] -> Addr g
+  | List [ Atom "ld"; Atom w; Atom sgn; e ] ->
+      let signed =
+        match sgn with
+        | "s" -> true
+        | "u" -> false
+        | s -> err "expected s or u, got %S" s
+      in
+      Load (width_of_name w, signed, expr_of_sexp e)
+  | List (Atom "call" :: Atom f :: args) -> Call (f, List.map expr_of_sexp args)
+  | List [ Atom op; a; b ] -> (
+      match alu_of_name op with
+      | Some op -> Binop (op, expr_of_sexp a, expr_of_sexp b)
+      | None -> (
+          match rel_of_name op with
+          | Some r -> Cmp (r, expr_of_sexp a, expr_of_sexp b)
+          | None -> err "unknown operator %S" op))
+  | List _ -> err "malformed expression"
+
+let rec stmt_of_sexp = function
+  | List [ Atom "let"; Atom x; e ] -> Let (x, expr_of_sexp e)
+  | List [ Atom "set"; Atom x; e ] -> Set (x, expr_of_sexp e)
+  | List [ Atom "st"; Atom w; ea; ev ] ->
+      Store (width_of_name w, expr_of_sexp ea, expr_of_sexp ev)
+  | List [ Atom "if"; c; List t; List e ] ->
+      If (expr_of_sexp c, List.map stmt_of_sexp t, List.map stmt_of_sexp e)
+  | List (Atom "while" :: c :: body) ->
+      While (expr_of_sexp c, List.map stmt_of_sexp body)
+  | List [ Atom "dowhile"; List body; c ] ->
+      Do_while (List.map stmt_of_sexp body, expr_of_sexp c)
+  | List [ Atom "switch"; sel; List cases; List default ] ->
+      Switch
+        ( expr_of_sexp sel,
+          List.map
+            (function
+              | List (Atom k :: body) ->
+                  (int_of_atom k, List.map stmt_of_sexp body)
+              | _ -> err "malformed switch case")
+            cases,
+          List.map stmt_of_sexp default )
+  | List (Atom "call!" :: Atom f :: args) ->
+      Call_stmt (f, List.map expr_of_sexp args)
+  | List [ Atom "return"; e ] -> Return (Some (expr_of_sexp e))
+  | List [ Atom "return" ] -> Return None
+  | List [ Atom "break" ] -> Break
+  | _ -> err "malformed statement"
+
+let program_of_sexp = function
+  | List (Atom "program" :: List (Atom "globals" :: globals) :: funcs) ->
+      { globals =
+          List.map
+            (function
+              | List [ Atom g; Atom size ] -> (g, int_of_atom size)
+              | _ -> err "malformed global declaration")
+            globals;
+        funcs =
+          List.map
+            (function
+              | List (Atom "func" :: Atom name :: List params :: body) ->
+                  { name;
+                    params =
+                      List.map
+                        (function
+                          | Atom x -> x
+                          | List _ -> err "malformed parameter list")
+                        params;
+                    body = List.map stmt_of_sexp body }
+              | _ -> err "malformed function")
+            funcs }
+  | _ -> err "expected (program (globals ...) (func ...) ...)"
+
+let parse text =
+  match program_of_sexp (parse_sexps text) with
+  | p -> Ok p
+  | exception Parse_error (off, m) ->
+      Error (Printf.sprintf "parse error at offset %d: %s" off m)

@@ -1,0 +1,100 @@
+type gen_kind = Mini | Asm
+
+type t = {
+  gen : gen_kind;
+  seed : int;
+  index : int;
+  oracle : string;
+  detail : string;
+  program_text : string;
+}
+
+let magic = "# polyflow_fuzz repro v1"
+let separator = "--- program ---"
+
+let gen_name = function Mini -> "mini" | Asm -> "asm"
+
+let gen_of_name = function
+  | "mini" -> Some Mini
+  | "asm" -> Some Asm
+  | _ -> None
+
+let filename r = Printf.sprintf "%s-s%d-i%d.repro" (gen_name r.gen) r.seed r.index
+
+(* headers are line-oriented, so the free-text detail must stay on one *)
+let one_line s =
+  String.map (function '\n' | '\r' -> ' ' | c -> c) s
+
+let to_string r =
+  String.concat "\n"
+    [ magic;
+      "gen: " ^ gen_name r.gen;
+      "seed: " ^ string_of_int r.seed;
+      "index: " ^ string_of_int r.index;
+      "oracle: " ^ one_line r.oracle;
+      "detail: " ^ one_line r.detail;
+      separator;
+      r.program_text ]
+
+let of_string text =
+  let lines = String.split_on_char '\n' text in
+  let header = Hashtbl.create 8 in
+  let rec split = function
+    | [] -> Error "missing '--- program ---' separator"
+    | l :: rest when String.trim l = separator ->
+        Ok (String.concat "\n" rest)
+    | l :: rest ->
+        (match String.index_opt l ':' with
+        | Some k ->
+            Hashtbl.replace header
+              (String.trim (String.sub l 0 k))
+              (String.trim (String.sub l (k + 1) (String.length l - k - 1)))
+        | None -> ());
+        split rest
+  in
+  match lines with
+  | first :: rest when String.trim first = magic -> (
+      match split rest with
+      | Error _ as e -> e
+      | Ok program_text -> (
+          let field name = Hashtbl.find_opt header name in
+          let int_field name =
+            Option.bind (field name) int_of_string_opt
+          in
+          match
+            (Option.bind (field "gen") gen_of_name, int_field "seed",
+             int_field "index")
+          with
+          | Some gen, Some seed, Some index ->
+              Ok
+                { gen; seed; index;
+                  oracle = Option.value (field "oracle") ~default:"unknown";
+                  detail = Option.value (field "detail") ~default:"";
+                  program_text }
+          | None, _, _ -> Error "missing or bad 'gen:' header"
+          | _, None, _ -> Error "missing or bad 'seed:' header"
+          | _, _, None -> Error "missing or bad 'index:' header"))
+  | _ -> Error (Printf.sprintf "not a repro file (expected %S)" magic)
+
+let mkdir_p dir =
+  let rec mk d =
+    if d <> "" && d <> "." && d <> "/" && not (Sys.file_exists d) then begin
+      mk (Filename.dirname d);
+      (try Sys.mkdir d 0o755 with Sys_error _ -> ())
+    end
+  in
+  mk dir
+
+let save ~dir r =
+  mkdir_p dir;
+  let path = Filename.concat dir (filename r) in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string r));
+  path
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> of_string text
+  | exception Sys_error m -> Error m

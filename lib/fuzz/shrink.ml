@@ -1,0 +1,145 @@
+open Pf_mini.Ast
+
+(* ------------------------------------------------------------------ *)
+(* List helpers                                                        *)
+
+let take n l = List.filteri (fun i _ -> i < n) l
+let drop n l = List.filteri (fun i _ -> i >= n) l
+let remove_at k l = List.filteri (fun i _ -> i <> k) l
+let replace_at k x l = List.mapi (fun i y -> if i = k then x else y) l
+
+(* ------------------------------------------------------------------ *)
+(* Candidate generation. Every candidate is strictly smaller (in AST
+   node count) than the value it replaces, which makes the greedy loop
+   terminate without needing the budget.                               *)
+
+let rec expr_variants = function
+  | Const 0L -> []
+  | Const _ -> [ Const 0L ]
+  | Var _ | Addr _ -> [ Const 0L ]
+  | Load (w, s, e) ->
+      [ e; Const 0L ] @ List.map (fun e' -> Load (w, s, e')) (expr_variants e)
+  | Binop (op, a, b) ->
+      [ a; b; Const 0L ]
+      @ List.map (fun a' -> Binop (op, a', b)) (expr_variants a)
+      @ List.map (fun b' -> Binop (op, a, b')) (expr_variants b)
+  | Cmp (r, a, b) ->
+      [ a; b; Const 0L; Const 1L ]
+      @ List.map (fun a' -> Cmp (r, a', b)) (expr_variants a)
+      @ List.map (fun b' -> Cmp (r, a, b')) (expr_variants b)
+  | Call (f, args) ->
+      (Const 0L :: args)
+      @ List.map (fun args' -> Call (f, args')) (one_arg_variants args)
+
+and one_arg_variants args =
+  List.concat
+    (List.mapi
+       (fun i a -> List.map (fun a' -> replace_at i a' args) (expr_variants a))
+       args)
+
+(* Each element is a replacement {e sequence}, so a conditional arm or a
+   loop body can be spliced into the enclosing block. Deleting outright
+   is handled by the enclosing list's drop candidates. *)
+let rec stmt_replacements = function
+  | Let (x, e) -> List.map (fun e' -> [ Let (x, e') ]) (expr_variants e)
+  | Set (x, e) -> List.map (fun e' -> [ Set (x, e') ]) (expr_variants e)
+  | Store (w, ea, ev) ->
+      List.map (fun ea' -> [ Store (w, ea', ev) ]) (expr_variants ea)
+      @ List.map (fun ev' -> [ Store (w, ea, ev') ]) (expr_variants ev)
+  | If (c, t, e) ->
+      [ t; e ]
+      @ List.map (fun c' -> [ If (c', t, e) ]) (expr_variants c)
+      @ List.map (fun t' -> [ If (c, t', e) ]) (list_variants t)
+      @ List.map (fun e' -> [ If (c, t, e') ]) (list_variants e)
+  | While (c, b) ->
+      [ b ]
+      @ List.map (fun c' -> [ While (c', b) ]) (expr_variants c)
+      @ List.map (fun b' -> [ While (c, b') ]) (list_variants b)
+  | Do_while (b, c) ->
+      [ b ]
+      @ List.map (fun b' -> [ Do_while (b', c) ]) (list_variants b)
+      @ List.map (fun c' -> [ Do_while (b, c') ]) (expr_variants c)
+  | Switch (sel, cases, d) ->
+      (d :: List.map snd cases)
+      @ List.map (fun s' -> [ Switch (s', cases, d) ]) (expr_variants sel)
+      @ List.mapi (fun i _ -> [ Switch (sel, remove_at i cases, d) ]) cases
+      @ List.concat
+          (List.mapi
+             (fun i (k, body) ->
+               List.map
+                 (fun body' ->
+                   [ Switch (sel, replace_at i (k, body') cases, d) ])
+                 (list_variants body))
+             cases)
+      @ List.map (fun d' -> [ Switch (sel, cases, d') ]) (list_variants d)
+  | Call_stmt (f, args) ->
+      List.map (fun args' -> [ Call_stmt (f, args') ]) (one_arg_variants args)
+  | Return (Some e) ->
+      [ [ Return None ] ]
+      @ List.map (fun e' -> [ Return (Some e') ]) (expr_variants e)
+  | Return None | Break -> []
+
+and list_variants l =
+  let n = List.length l in
+  let halves = if n >= 2 then [ take (n / 2) l; drop (n / 2) l ] else [] in
+  let drops = if n >= 1 then List.init n (fun i -> remove_at i l) else [] in
+  let repls =
+    List.concat
+      (List.mapi
+         (fun i s ->
+           List.map
+             (fun r -> List.concat (replace_at i r (List.map (fun x -> [ x ]) l)))
+             (stmt_replacements s))
+         l)
+  in
+  halves @ drops @ repls
+
+let program_variants (p : program) =
+  let drop_funcs =
+    List.concat
+      (List.mapi
+         (fun i (f : func) ->
+           if f.name = "main" then []
+           else [ { p with funcs = remove_at i p.funcs } ])
+         p.funcs)
+  in
+  let body_variants =
+    List.concat
+      (List.mapi
+         (fun i (f : func) ->
+           List.map
+             (fun body' ->
+               { p with funcs = replace_at i { f with body = body' } p.funcs })
+             (list_variants f.body))
+         p.funcs)
+  in
+  let drop_globals =
+    List.mapi
+      (fun i _ -> { p with globals = remove_at i p.globals })
+      p.globals
+  in
+  drop_funcs @ body_variants @ drop_globals
+
+(* ------------------------------------------------------------------ *)
+
+let shrink ~check ~oracle ?(budget = 500) p0 =
+  let trials = ref 0 in
+  let keeps candidate =
+    if !trials >= budget then false
+    else begin
+      incr trials;
+      match check candidate with
+      | Oracle.Fail f -> f.Oracle.oracle = oracle
+      | Oracle.Pass -> false
+      | exception _ -> false
+    end
+  in
+  let rec loop p =
+    if !trials >= budget then p
+    else
+      match List.find_opt keeps (program_variants p) with
+      | Some p' -> loop p'
+      | None -> p
+  in
+  let minimised = loop p0 in
+  (minimised, !trials)

@@ -1,0 +1,22 @@
+(** Greedy delta-debugging for failing Mini programs.
+
+    [shrink ~check ~oracle p] repeatedly replaces [p] with a strictly
+    smaller variant that still fails [check] with the {e same} oracle
+    name (a candidate that passes, fails differently, or raises is
+    skipped), until no candidate survives or [budget] trials (default
+    500) are spent. Candidates are generated structurally: dropping
+    functions, globals and statements, splicing conditional arms and
+    loop bodies into their parent block, halving statement lists, and
+    replacing subexpressions with their own children or constants.
+    Every candidate has strictly fewer AST nodes, so the process
+    terminates even without the budget.
+
+    Returns the minimised program and the number of candidate trials
+    spent. *)
+
+val shrink :
+  check:(Pf_mini.Ast.program -> Oracle.outcome) ->
+  oracle:string ->
+  ?budget:int ->
+  Pf_mini.Ast.program ->
+  Pf_mini.Ast.program * int

@@ -36,9 +36,12 @@ let sign_extend v bits =
   let shift = 64 - bits in
   Int64.shift_right (Int64.shift_left v shift) shift
 
-let load st w addr =
+let load st w signed addr =
   let n = Pf_isa.Instr.width_bytes w in
-  sign_extend (read_bytes st addr n) (8 * n)
+  let raw = read_bytes st addr n in
+  (* [read_bytes] yields the zero-extended value; narrow signed loads
+     must sign-extend, matching [Machine.load_value] *)
+  if signed then sign_extend raw (8 * n) else raw
 
 let store st w addr v =
   let n = Pf_isa.Instr.width_bytes w in
@@ -80,9 +83,9 @@ let rec eval st (frame : frame) e =
       match Hashtbl.find_opt st.globals_addr x with
       | Some addr -> Int64.of_int addr
       | None -> invalid_arg (Printf.sprintf "Interp: unknown global %s" x))
-  | Ast.Load (w, _signed, addr_e) ->
+  | Ast.Load (w, signed, addr_e) ->
       let addr = Int64.to_int (eval st frame addr_e) in
-      load st w addr
+      load st w signed addr
   | Ast.Binop (op, e1, e2) ->
       let a = eval st frame e1 in
       let b = eval st frame e2 in

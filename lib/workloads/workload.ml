@@ -6,6 +6,7 @@ type t = {
   fast_forward : int;
   window : int;
   result_addr : int;
+  mini : Pf_mini.Ast.program option;
 }
 
 let of_mini ~name ~description ~fast_forward ~window prog init =
@@ -17,7 +18,8 @@ let of_mini ~name ~description ~fast_forward ~window prog init =
     fast_forward;
     window;
     result_addr =
-      (try compiled.Pf_mini.Compile.address_of "result" with Not_found -> -1) }
+      (try compiled.Pf_mini.Compile.address_of "result" with Not_found -> -1);
+    mini = Some prog }
 
 let fill_words rng m ~base ~words ~mask =
   for k = 0 to words - 1 do

@@ -12,6 +12,9 @@ type t = {
   window : int;                     (** default simulation window *)
   result_addr : int;                (** address of the program's 8-byte result
                                         (for oracle checks), -1 if none *)
+  mini : Pf_mini.Ast.program option;
+      (** the Mini source when built with {!of_mini}, so differential
+          tests can re-interpret the workload against the machine *)
 }
 
 (** [of_mini ~name ~description ~fast_forward ~window prog init] compiles

@@ -1,0 +1,24 @@
+(* Shared qcheck harness: every property suite funnels through
+   [to_alcotest] so that one announced seed reproduces any failure.
+
+   The seed comes from the QCHECK_SEED environment variable when set
+   (CI failure logs say which value to export) and is drawn randomly
+   otherwise. Each property gets its own Random.State freshly seeded
+   from it, so a single test filtered out with `alcotest -e` sees the
+   same stream as the full run. *)
+
+let seed =
+  match Sys.getenv_opt "QCHECK_SEED" with
+  | Some s -> (
+      match int_of_string_opt s with
+      | Some n -> n
+      | None -> invalid_arg (Printf.sprintf "QCHECK_SEED=%S is not an integer" s))
+  | None ->
+      Random.self_init ();
+      Random.int 0x3FFFFFFF
+
+let announce () =
+  Printf.printf "qcheck seed: %d (rerun with QCHECK_SEED=%d)\n%!" seed seed
+
+let to_alcotest cell =
+  QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| seed |]) cell

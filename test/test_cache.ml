@@ -93,7 +93,7 @@ let suite =
         case "probe has no side effect" test_probe_no_side_effect;
         case "bad geometry rejected" test_bad_geometry_rejected;
         case "reset" test_reset;
-        QCheck_alcotest.to_alcotest prop_small_working_set_all_hits ] );
+        Prop.to_alcotest prop_small_working_set_all_hits ] );
     ( "cache.hierarchy",
       [ case "latencies" test_hierarchy_latencies;
         case "shared L2" test_hierarchy_l2_shared;

@@ -420,7 +420,7 @@ let prop_rpo_is_permutation =
       !ok)
 
 let qcheck_cases =
-  List.map QCheck_alcotest.to_alcotest
+  List.map Prop.to_alcotest
     [ prop_ipdom_matches_oracle;
       prop_ancestor_transitive;
       prop_cdg_definition;

@@ -285,8 +285,8 @@ let suite =
       [ case "categories of a structured procedure" test_classification;
         case "plain blocks spawn nothing" test_no_spawn_for_plain_blocks;
         case "indirect jump is other" test_indirect_jump_is_other;
-        QCheck_alcotest.to_alcotest prop_spawn_targets_postdominate;
-        QCheck_alcotest.to_alcotest prop_spawn_at_pcs_are_transfer_points ] );
+        Prop.to_alcotest prop_spawn_targets_postdominate;
+        Prop.to_alcotest prop_spawn_at_pcs_are_transfer_points ] );
     ( "core.policy",
       [ case "select" test_policy_select;
         case "names" test_policy_names;

@@ -568,7 +568,7 @@ let suite =
         case "div by zero defined" test_div_by_zero_defined;
         case "zero register immutable" test_zero_register_immutable;
         case "instruction budget" test_max_instrs_budget;
-        QCheck_alcotest.to_alcotest test_determinism ] );
+        Prop.to_alcotest test_determinism ] );
     ( "isa.call_graph",
       [ case "direct edges" test_call_graph_direct;
         case "self recursion" test_call_graph_self_recursion;
@@ -581,7 +581,7 @@ let suite =
         case "location counter checked" test_parse_checks_location_counter;
         case "comments and blanks" test_parse_comments_and_blanks;
         case "workload binary round trip" test_workload_binary_round_trip;
-        QCheck_alcotest.to_alcotest prop_instr_round_trip ] );
+        Prop.to_alcotest prop_instr_round_trip ] );
     ( "isa.cfg_build",
       [ case "blocks of figure-1 shape" test_cfg_build_blocks;
         case "postdominators through binary" test_cfg_build_postdominators;

@@ -514,9 +514,9 @@ let suite =
         case "unknown variable rejected" test_unknown_variable_rejected;
         case "unknown function rejected" test_unknown_function_rejected;
         case "nested call rejected" test_nested_call_rejected;
-        QCheck_alcotest.to_alcotest prop_arith_matches_int64;
-        QCheck_alcotest.to_alcotest prop_loop_sum ] );
+        Prop.to_alcotest prop_arith_matches_int64;
+        Prop.to_alcotest prop_loop_sum ] );
     ( "mini.interp",
       [ case "rejects unknown identifiers" test_interp_rejects_unknown;
         case "fuel bound" test_interp_fuel;
-        QCheck_alcotest.to_alcotest prop_compiled_matches_interpreter ] ) ]
+        Prop.to_alcotest prop_compiled_matches_interpreter ] ) ]

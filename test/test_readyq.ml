@@ -148,6 +148,6 @@ let suite =
         case "filter keeps FIFO order" test_filter_keeps_fifo_order;
         case "sweep consumes a prefix" test_sweep_consumes_prefix;
         case "clear empties and stays usable" test_clear;
-        QCheck_alcotest.to_alcotest prop_sorted_by_construction;
-        QCheck_alcotest.to_alcotest prop_fifo_preserved;
-        QCheck_alcotest.to_alcotest prop_length_agrees ] ) ]
+        Prop.to_alcotest prop_sorted_by_construction;
+        Prop.to_alcotest prop_fifo_preserved;
+        Prop.to_alcotest prop_length_agrees ] ) ]

@@ -259,8 +259,8 @@ let suite =
         case "json: whole floats stay floats" test_json_whole_floats_stay_floats;
         case "json: escape decoding" test_json_escapes;
         case "json: malformed input rejected" test_json_errors;
-        QCheck_alcotest.to_alcotest metrics_roundtrip_prop;
-        QCheck_alcotest.to_alcotest csv_arity_prop;
+        Prop.to_alcotest metrics_roundtrip_prop;
+        Prop.to_alcotest csv_arity_prop;
         case "config round trip" test_config_roundtrip;
         case "metrics decode is strict" test_metrics_decode_is_strict;
         case "manifest: stamp, round trip, version gate" test_manifest;

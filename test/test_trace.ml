@@ -208,9 +208,9 @@ let suite =
         case "partial overlap" test_partial_overlap;
         case "fast-forwarded producers" test_before_window_producer;
         case "occurrence index" test_occurrence_index;
-        QCheck_alcotest.to_alcotest prop_producers_precede_consumers;
-        QCheck_alcotest.to_alcotest prop_producer_defines_register;
-        QCheck_alcotest.to_alcotest prop_occurrence_complete ] );
+        Prop.to_alcotest prop_producers_precede_consumers;
+        Prop.to_alcotest prop_producer_defines_register;
+        Prop.to_alcotest prop_occurrence_complete ] );
     ( "trace.limits",
       [ case "oracle >= single flow" test_limits_ordering;
         case "serial chain" test_limits_serial_chain;

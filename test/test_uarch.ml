@@ -389,7 +389,7 @@ let suite =
         case "variants complete" test_ablation_variants_complete;
         case "dmt policy" test_dmt_policy;
         case "shared history hurts" test_shared_history_hurts_multitask_prediction;
-        QCheck_alcotest.to_alcotest prop_random_configs_complete ] );
+        Prop.to_alcotest prop_random_configs_complete ] );
     ( "uarch.metrics",
       [ case "split spawning" test_split_spawning;
         case "empty window rejected" test_prepare_rejects_empty_window;

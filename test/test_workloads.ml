@@ -203,6 +203,55 @@ let test_twolf_oracle () =
   Alcotest.(check int64) "twolf cost matches the oracle" !cost
     (Pf_isa.Machine.read_i64 m w.Workload.result_addr)
 
+(* Every workload is built from Mini source ([Workload.mini]), so each
+   one is a differential test: interpret the source, run the compiled
+   binary to completion, and compare every word of every user global.
+   The interpreter sees the setup-initialised memory as [init_mem] (a
+   snapshot of the non-zero words the setup wrote). *)
+let test_all_workloads_match_interpreter () =
+  List.iter
+    (fun w ->
+      match w.Workload.mini with
+      | None -> Alcotest.failf "%s lost its Mini source" w.Workload.name
+      | Some ast ->
+          let compiled = Pf_mini.Compile.compile ast in
+          let m = Pf_isa.Machine.create compiled.Pf_mini.Compile.program in
+          w.Workload.setup m;
+          let init_mem = ref [] in
+          let top = Pf_isa.Machine.mem_size m - 8 in
+          let a = ref 0 in
+          while !a <= top do
+            let v = Pf_isa.Machine.read_i64 m !a in
+            if v <> 0L then init_mem := (!a, v) :: !init_mem;
+            a := !a + 8
+          done;
+          let out =
+            Pf_mini.Interp.run ~fuel:200_000_000 ~init_mem:!init_mem ast
+          in
+          ignore (Pf_isa.Machine.run m ~max_instrs:20_000_000 ~on_event:ignore);
+          Alcotest.(check bool)
+            (Printf.sprintf "%s halts" w.Workload.name)
+            true
+            (Pf_isa.Machine.halted m);
+          let address_of = compiled.Pf_mini.Compile.address_of in
+          List.iter
+            (fun (g, size) ->
+              let base = address_of g in
+              if size = 8 then
+                Alcotest.(check int64)
+                  (Printf.sprintf "%s global %s" w.Workload.name g)
+                  (out.Pf_mini.Interp.read_global g)
+                  (Pf_isa.Machine.read_i64 m base)
+              else
+                for k = 0 to (size / 8) - 1 do
+                  Alcotest.(check int64)
+                    (Printf.sprintf "%s global %s word %d" w.Workload.name g k)
+                    (out.Pf_mini.Interp.read_mem (base + (8 * k)))
+                    (Pf_isa.Machine.read_i64 m (base + (8 * k)))
+                done)
+            ast.Pf_mini.Ast.globals)
+    all
+
 (* ------------------------------------------------------------------ *)
 (* End-to-end simulation sanity on a reduced window                    *)
 
@@ -303,7 +352,9 @@ let suite =
         case "expected spawn categories" test_expected_spawn_categories;
         case "perlbmk uses indirect jumps" test_perlbmk_has_indirect_jumps;
         case "gap/vortex exceed the L1I" test_gap_code_exceeds_l1i;
-        case "all workloads simulate" test_all_workloads_simulate ] );
+        case "all workloads simulate" test_all_workloads_simulate;
+        case "all workloads match the interpreter"
+          test_all_workloads_match_interpreter ] );
     ( "workloads.oracles",
       [ case "engine below oracle limit" test_engine_below_oracle_limit;
         case "mcf result" test_mcf_oracle;
