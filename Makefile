@@ -15,8 +15,9 @@ bench-smoke:
 	dune exec bench/main.exe -- --smoke
 # Engine microbenchmark: prepare-vs-simulate phase timings plus a timed
 # full-grid sweep, written to BENCH_engine.json (see docs/ENGINE.md).
+# Extra flags pass through ARGS, e.g. `make bench-engine ARGS=--smoke`.
 bench-engine:
-	dune exec bench/engine_bench.exe
+	dune exec bench/engine_bench.exe -- $(ARGS)
 # Differential fuzzing (docs/FUZZING.md). `fuzz-smoke` is the fixed-seed
 # batch CI runs; `fuzz` is an open-ended randomized campaign — findings
 # are shrunk and written to _fuzz/corpus/ as replayable repro files.

@@ -53,7 +53,20 @@ let time f =
   let v = f () in
   (v, Unix.gettimeofday () -. t0)
 
-type sim_row = { label : string; sim_s : float; metrics : Metrics.t }
+type sim_row = {
+  label : string;
+  sim_s : float;
+  metrics : Metrics.t;
+  (* GC word deltas across the simulation, from [Gc.quick_stat] *)
+  minor_words : float;
+  promoted_words : float;
+  major_words : float;
+}
+
+(* words freshly allocated: minor plus direct-to-major, with promotions
+   (already counted in minor_words) backed out of major_words *)
+let allocated_words (s : sim_row) =
+  s.minor_words +. s.major_words -. s.promoted_words
 
 type workload_row = {
   workload : string;
@@ -85,8 +98,15 @@ let measure_workload ~window_override (wl : Pf_workloads.Workload.t) =
   let sims =
     List.map
       (fun policy ->
+        let g0 = Gc.quick_stat () in
         let metrics, sim_s = time (fun () -> Run.simulate prep ~policy) in
-        { label = Pf_core.Policy.name policy; sim_s; metrics })
+        let g1 = Gc.quick_stat () in
+        { label = Pf_core.Policy.name policy;
+          sim_s;
+          metrics;
+          minor_words = g1.Gc.minor_words -. g0.Gc.minor_words;
+          promoted_words = g1.Gc.promoted_words -. g0.Gc.promoted_words;
+          major_words = g1.Gc.major_words -. g0.Gc.major_words })
       phase_policies
   in
   { workload = wl.Pf_workloads.Workload.name;
@@ -127,9 +147,13 @@ let sim_to_json (s : sim_row) =
     [ ("label", Json.String s.label);
       ("simulate_s", Json.Float s.sim_s);
       ("cycles", Json.Int s.metrics.Metrics.cycles);
-      ("ipc", Json.Float (Metrics.ipc s.metrics)) ]
+      ("ipc", Json.Float (Metrics.ipc s.metrics));
+      ("minor_words", Json.Float s.minor_words);
+      ("major_words", Json.Float s.major_words);
+      ("allocated_words", Json.Float (allocated_words s)) ]
 
 let simulate_total w = List.fold_left (fun a s -> a +. s.sim_s) 0. w.sims
+let allocated_total w = List.fold_left (fun a s -> a +. allocated_words s) 0. w.sims
 
 (* what an N-policy sweep of this window pays with flattening hoisted
    into prepare vs re-flattened per policy (the pre-rewrite pipeline) *)
@@ -168,7 +192,9 @@ let document ~tool ~wall_s ~rows ~grid =
         ( "flatten_sharing_speedup",
           Json.Float (sum unshared_wall /. sum shared_wall) );
         ( "engine_minstr_per_s",
-          Json.Float (float_of_int instrs /. sim_s /. 1e6) ) ]
+          Json.Float (float_of_int instrs /. sim_s /. 1e6) );
+        ( "allocated_words_per_instr",
+          Json.Float (sum allocated_total /. float_of_int instrs) ) ]
   in
   let manifest = Pf_report.Manifest.create ~tool ~jobs:!jobs ~wall_s in
   Json.Obj
@@ -199,6 +225,43 @@ let save path json =
     (fun () ->
       output_string oc (Json.to_string_pretty json);
       output_char oc '\n')
+
+(* Perf trajectory across PRs: every write appends one summary entry to
+   a `history` member carried over from the artifact it replaces, so the
+   file doubles as a machine-readable record of how the tracked numbers
+   moved. A missing or unreadable prior artifact just starts a fresh
+   history. *)
+let with_history path doc =
+  let prior =
+    if not (Sys.file_exists path) then []
+    else
+      try
+        let ic = open_in_bin path in
+        let text =
+          Fun.protect
+            ~finally:(fun () -> close_in ic)
+            (fun () -> really_input_string ic (in_channel_length ic))
+        in
+        match Json.member_opt "history" (Json.of_string text) with
+        | Some (Json.List l) -> l
+        | _ -> []
+      with _ -> []
+  in
+  let sub a b = Json.member b (Json.member a doc) in
+  let entry =
+    Json.Obj
+      [ ("created_unix", sub "manifest" "created_unix");
+        ("git", sub "manifest" "git");
+        ("tool", sub "manifest" "tool");
+        ("timing_version", Json.String Engine.timing_version);
+        ("engine_minstr_per_s", sub "totals" "engine_minstr_per_s");
+        ("allocated_words_per_instr", sub "totals" "allocated_words_per_instr")
+      ]
+  in
+  match doc with
+  | Json.Obj fields ->
+      Json.Obj (fields @ [ ("history", Json.List (prior @ [ entry ])) ])
+  | j -> j
 
 (* ---- smoke: fast self-check wired into dune runtest ---- *)
 
@@ -242,6 +305,23 @@ let run_smoke () =
     (Json.to_int (Json.member "schema_version" reparsed)
      = Pf_report.Manifest.schema_version
     && List.length (Json.to_list (Json.member "workloads" reparsed)) = 2);
+  (* the steady-state loop must stay allocation-free.  Measured over a
+     window long enough to amortize per-simulate setup (predictor
+     tables, the O(n) prepared arrays): the budget below leaves ~10
+     words/instr of headroom over the tracked level, while a per-cycle
+     list or closure sneaking back into the engine costs tens of words
+     per instruction and trips it immediately. *)
+  let gc_row =
+    measure_workload ~window_override:(Some 20_000)
+      (Option.get (Pf_workloads.Suite.find "gzip"))
+  in
+  check "near-zero allocation per instr"
+    (allocated_total gc_row
+     /. float_of_int (gc_row.instructions * List.length gc_row.sims)
+     < 25.);
+  (* CI consumes the smoke artifact (perf-smoke job), so write it even
+     in smoke mode, history included *)
+  save !json_out (with_history !json_out doc);
   Printf.printf "engine-bench smoke: %s\n"
     (if !failures = [] then "PASS" else "FAIL");
   exit (if !failures = [] then 0 else 1)
@@ -289,7 +369,7 @@ let run_full () =
       ~wall_s:(Unix.gettimeofday () -. t_start)
       ~rows ~grid
   in
-  save !json_out doc;
+  save !json_out (with_history !json_out doc);
   Printf.printf "Wrote %s (schema %d)\n" !json_out
     Pf_report.Manifest.schema_version
 

@@ -36,15 +36,21 @@ let jobs = ref (min 8 (Domain.recommended_domain_count ()))
 let json_out = ref ""
 let smoke = ref false
 let no_micro = ref false
+let no_cache = ref false
+let cache_dir = ref "_cache"
 
 let () =
   Arg.parse
     [ ("--jobs", Arg.Set_int jobs, "N  worker domains for the sweep (default: cores, max 8)");
       ("--json", Arg.Set_string json_out, "FILE  save the sweep as a report document");
       ("--smoke", Arg.Set smoke, "  2-workload x 2-policy self-checking mini-sweep");
-      ("--no-micro", Arg.Set no_micro, "  skip the bechamel micro-benchmarks") ]
+      ("--no-micro", Arg.Set no_micro, "  skip the bechamel micro-benchmarks");
+      ("--no-cache", Arg.Set no_cache,
+       "  bypass the sweep result cache and resimulate everything");
+      ("--cache", Arg.Set_string cache_dir,
+       "DIR  sweep result cache directory (default: _cache)") ]
     (fun a -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" a)))
-    "bench/main.exe [--jobs N] [--json FILE] [--smoke] [--no-micro]"
+    "bench/main.exe [--jobs N] [--json FILE] [--smoke] [--no-micro] [--no-cache] [--cache DIR]"
 
 (* ---- the sweep grid ---- *)
 
@@ -734,7 +740,14 @@ let run_full () =
     if done_ = total then Printf.eprintf "\n";
     flush stderr
   in
-  let runs, prepared = Sweep.execute ~progress ~jobs:!jobs specs in
+  (* content-addressed result cache (docs/EXPERIMENTS.md): repeat runs
+     of an unchanged tree replay their simulations from _cache/, and any
+     engine or config change misses automatically via the digest *)
+  let cache =
+    if !no_cache then None
+    else Some (Pf_report.Run_cache.create ~dir:!cache_dir)
+  in
+  let runs, prepared = Sweep.execute ~progress ?cache ~jobs:!jobs specs in
   let sweep_wall = Unix.gettimeofday () -. t_start in
   let doc =
     Sweep.document

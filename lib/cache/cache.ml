@@ -32,44 +32,52 @@ let create ~size_bytes ~assoc ~line_bytes () =
 
 let line_bytes t = 1 lsl t.line_shift
 
-let set_and_tag t addr =
-  let line = addr lsr t.line_shift in
-  (line land (t.nsets - 1), line)
-
+(* the way holding [tag] in [set], or -1: an int result (rather than an
+   option) keeps the per-access path of the simulator's hottest callee
+   allocation-free *)
 let find_way t set tag =
   let base = set * t.assoc in
   let rec go w =
-    if w >= t.assoc then None
-    else if t.tags.(base + w) = tag then Some w
+    if w >= t.assoc then -1
+    else if t.tags.(base + w) = tag then w
     else go (w + 1)
   in
   go 0
 
 let probe t addr =
-  let set, tag = set_and_tag t addr in
-  find_way t set tag <> None
+  let line = addr lsr t.line_shift in
+  find_way t (line land (t.nsets - 1)) line >= 0
 
 let access t addr =
-  let set, tag = set_and_tag t addr in
+  let line = addr lsr t.line_shift in
+  let set = line land (t.nsets - 1) in
+  let tag = line in
   let base = set * t.assoc in
   t.accesses <- t.accesses + 1;
   t.clock <- t.clock + 1;
-  match find_way t set tag with
-  | Some w ->
-      t.lru.(base + w) <- t.clock;
-      true
-  | None ->
-      t.misses <- t.misses + 1;
-      (* evict the LRU way (or an invalid one) *)
-      let victim = ref 0 in
-      for w = 1 to t.assoc - 1 do
-        if t.lru.(base + w) < t.lru.(base + !victim) then victim := w
-      done;
-      let inv = find_way t set (-1) in
-      let w = match inv with Some w -> w | None -> !victim in
-      t.tags.(base + w) <- tag;
-      t.lru.(base + w) <- t.clock;
-      false
+  let w = find_way t set tag in
+  if w >= 0 then begin
+    t.lru.(base + w) <- t.clock;
+    true
+  end
+  else begin
+    t.misses <- t.misses + 1;
+    (* evict an invalid way if present, else the LRU way *)
+    let inv = find_way t set (-1) in
+    let w =
+      if inv >= 0 then inv
+      else begin
+        let victim = ref 0 in
+        for w = 1 to t.assoc - 1 do
+          if t.lru.(base + w) < t.lru.(base + !victim) then victim := w
+        done;
+        !victim
+      end
+    in
+    t.tags.(base + w) <- tag;
+    t.lru.(base + w) <- t.clock;
+    false
+  end
 
 let accesses t = t.accesses
 let misses t = t.misses

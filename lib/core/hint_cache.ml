@@ -1,15 +1,35 @@
-type t = (int, Spawn_point.t list) Hashtbl.t
+(* Direct-mapped on the fetch PC: the engine probes the hint cache for
+   every fetched instruction, so [find] must cost an array read, not a
+   Hashtbl probe (hashing dominated the fetch stage before this).
+   Program text is small and dense, so a pc-indexed array of lists
+   wastes little; capacity misses stay unmodelled as in the paper. *)
+type t = { mutable slots : Spawn_point.t list array }
+
+let ensure t pc =
+  let len = Array.length t.slots in
+  if pc >= len then begin
+    let n = ref (max len 64) in
+    while pc >= !n do
+      n := !n * 2
+    done;
+    let s = Array.make !n [] in
+    Array.blit t.slots 0 s 0 len;
+    t.slots <- s
+  end
 
 let install t (s : Spawn_point.t) =
-  let existing = try Hashtbl.find t s.Spawn_point.at_pc with Not_found -> [] in
-  if not (List.mem s existing) then
-    Hashtbl.replace t s.Spawn_point.at_pc (existing @ [ s ])
+  let pc = s.Spawn_point.at_pc in
+  if pc < 0 then invalid_arg "Hint_cache.install: negative pc";
+  ensure t pc;
+  let existing = t.slots.(pc) in
+  if not (List.mem s existing) then t.slots.(pc) <- existing @ [ s ]
 
 let of_spawns spawns =
-  let t = Hashtbl.create 256 in
+  let t = { slots = Array.make 1024 [] } in
   List.iter (install t) spawns;
   t
 
-let find t ~pc = try Hashtbl.find t pc with Not_found -> []
+let find t ~pc =
+  if pc >= 0 && pc < Array.length t.slots then t.slots.(pc) else []
 
-let size t = Hashtbl.fold (fun _ l acc -> acc + List.length l) t 0
+let size t = Array.fold_left (fun acc l -> acc + List.length l) 0 t.slots

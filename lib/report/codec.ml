@@ -110,7 +110,8 @@ let config_to_json (c : Config.t) =
       ("divert_chains", Json.Bool c.Config.divert_chains);
       ("sp_hint", Json.Bool c.Config.sp_hint);
       ("feedback", Json.Bool c.Config.feedback);
-      ("split_spawning", Json.Bool c.Config.split_spawning) ]
+      ("split_spawning", Json.Bool c.Config.split_spawning);
+      ("no_event_skip", Json.Bool c.Config.no_event_skip) ]
 
 let config_of_json j : Config.t =
   let int name = Json.to_int (Json.member name j) in
@@ -138,7 +139,13 @@ let config_of_json j : Config.t =
     divert_chains = bool "divert_chains";
     sp_hint = bool "sp_hint";
     feedback = bool "feedback";
-    split_spawning = bool "split_spawning" }
+    split_spawning = bool "split_spawning";
+    (* additive schema-v1 field (PR 5): absent in documents written by
+       earlier versions, where stepping was always per-cycle *)
+    no_event_skip =
+      (match Json.member_opt "no_event_skip" j with
+      | Some b -> Json.to_bool b
+      | None -> false) }
 
 (* ---- CSV ---- *)
 

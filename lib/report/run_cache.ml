@@ -1,0 +1,76 @@
+type t = { dir : string }
+
+let create ~dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  { dir }
+
+let dir t = t.dir
+
+let digest ~workload ~window ~fast_forward ~policy ~label ~config =
+  (* every field is a full line of its own, so no two distinct keys can
+     concatenate to the same string; the config goes in as its complete
+     canonical JSON so that any new Config.t field automatically
+     invalidates entries written before it existed *)
+  let key =
+    String.concat "\n"
+      [ "polyflow-run-cache";
+        Pf_uarch.Engine.timing_version;
+        workload;
+        string_of_int window;
+        string_of_int fast_forward;
+        policy;
+        label;
+        Json.to_string (Codec.config_to_json config) ]
+  in
+  Digest.to_hex (Digest.string key)
+
+let path_of t digest = Filename.concat t.dir (digest ^ ".json")
+
+let warn path reason =
+  Printf.eprintf "Run_cache: ignoring %s (%s); will resimulate\n%!" path reason
+
+let find t ~digest =
+  let path = path_of t digest in
+  if not (Sys.file_exists path) then None
+  else
+    match
+      let ic = open_in_bin path in
+      let text =
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      Json.of_string text
+    with
+    | exception _ ->
+        warn path "unreadable or unparseable";
+        None
+    | j -> (
+        match (Json.member_opt "digest" j, Json.member_opt "run" j) with
+        | Some (Json.String d), Some run when d = digest -> Some run
+        | _ ->
+            warn path "digest mismatch or missing members";
+            None)
+
+let store t ~digest run_json =
+  let entry =
+    Json.Obj [ ("digest", Json.String digest); ("run", run_json) ]
+  in
+  (* atomic publish: rename within one directory can never expose a
+     partial file, and the per-process temp name keeps concurrent
+     workers (which only ever race on identical content) from colliding *)
+  let tmp =
+    Filename.concat t.dir
+      (Printf.sprintf ".tmp.%d.%s.json" (Unix.getpid ()) digest)
+  in
+  let oc = open_out_bin tmp in
+  (match
+     output_string oc (Json.to_string_pretty entry);
+     output_char oc '\n'
+   with
+  | () -> close_out oc
+  | exception e ->
+      close_out_noerr oc;
+      (try Sys.remove tmp with Sys_error _ -> ());
+      raise e);
+  Sys.rename tmp (path_of t digest)

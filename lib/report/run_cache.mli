@@ -1,0 +1,43 @@
+(** Content-addressed cache of sweep results.
+
+    A cache entry is one {!Sweep.run} serialized to JSON, stored under a
+    digest of everything that determines its metrics: workload identity
+    (name, fast-forward, window), policy, label, the full effective
+    {!Pf_uarch.Config.t}, and {!Pf_uarch.Engine.timing_version}. The
+    simulator is deterministic in exactly these inputs (the test suite
+    holds jobs=1 and jobs=4 byte-identical), so a hit can stand in for a
+    simulation without changing a single byte of the report document —
+    cached entries keep their original [wall_s] stamp for the same
+    reason. Bumping [Engine.timing_version] on any timing-visible engine
+    change orphans every stale entry at once.
+
+    Entries are written atomically (temp file + rename), so concurrent
+    sweep workers and interrupted runs can never publish a torn file. A
+    file that is unreadable, unparseable, or fails its digest check is
+    reported on stderr and treated as a miss; the fresh result then
+    overwrites it. *)
+
+type t
+
+(** [create ~dir] opens (creating if necessary) the cache directory. *)
+val create : dir:string -> t
+
+val dir : t -> string
+
+(** The content digest of one run's inputs, in hex. *)
+val digest :
+  workload:string ->
+  window:int ->
+  fast_forward:int ->
+  policy:string ->
+  label:string ->
+  config:Pf_uarch.Config.t ->
+  string
+
+(** [find t ~digest] returns the stored run JSON, or [None] on a miss
+    or an invalid entry (the latter also warns on stderr). *)
+val find : t -> digest:string -> Json.t option
+
+(** [store t ~digest run_json] publishes an entry atomically,
+    replacing any previous one. *)
+val store : t -> digest:string -> Json.t -> unit

@@ -99,6 +99,41 @@ let map_pool ?progress ~jobs ~offset ~total f arr =
       | Some (Error _) | None -> assert false)
     results
 
+(* ---- run (de)serialization ----
+
+   Defined ahead of [execute] because the result cache stores and
+   replays exactly this encoding. *)
+
+let run_to_json r =
+  Json.Obj
+    [ ("workload", Json.String r.workload);
+      ("label", Json.String r.label);
+      ("policy", Json.String r.policy);
+      ("window", Json.Int r.window);
+      ("instructions", Json.Int r.instructions);
+      ("static_spawns", Json.Int r.static_spawns);
+      ("wall_s", Json.Float r.wall_s);
+      ("config", Codec.config_to_json r.config);
+      ("metrics", Codec.metrics_to_json r.metrics);
+      ("counters", Codec.counters_to_json r.counters) ]
+
+let run_of_json j =
+  { workload = Json.to_str (Json.member "workload" j);
+    label = Json.to_str (Json.member "label" j);
+    policy = Json.to_str (Json.member "policy" j);
+    window = Json.to_int (Json.member "window" j);
+    instructions = Json.to_int (Json.member "instructions" j);
+    static_spawns = Json.to_int (Json.member "static_spawns" j);
+    wall_s = Json.to_float (Json.member "wall_s" j);
+    config = Codec.config_of_json (Json.member "config" j);
+    metrics = Codec.metrics_of_json (Json.member "metrics" j);
+    (* additive schema-v1 field: absent in documents written before the
+       counter registry existed *)
+    counters =
+      (match Json.member_opt "counters" j with
+      | Some c -> Codec.counters_of_json c
+      | None -> []) }
+
 (* ---- sweep execution ---- *)
 
 let resolve_config (s : spec) =
@@ -107,7 +142,7 @@ let resolve_config (s : spec) =
   | None, Pf_core.Policy.No_spawn -> Config.superscalar
   | None, _ -> Config.polyflow
 
-let execute ?progress ~jobs specs =
+let execute ?progress ?cache ~jobs specs =
   let specs = Array.of_list specs in
   let workload_of name =
     match Pf_workloads.Suite.find name with
@@ -168,22 +203,68 @@ let execute ?progress ~jobs specs =
     prepared;
   let runs =
     map_pool ?progress ~jobs ~offset:(Array.length keys) ~total
-      (fun ((s : spec), _, window) ->
-        let prep = Hashtbl.find prep_index (s.workload, window) in
+      (fun ((s : spec), wl, window) ->
         let config = resolve_config s in
-        let reg = Pf_obs.Counters.create () in
-        let t0 = Unix.gettimeofday () in
-        let metrics = Run.simulate ~counters:reg ~config prep ~policy:s.policy in
-        { workload = s.workload;
-          label = s.label;
-          policy = Pf_core.Policy.name s.policy;
-          config;
-          window;
-          instructions = Pf_trace.Tracer.length prep.Run.trace;
-          static_spawns = List.length prep.Run.all_spawns;
-          wall_s = Unix.gettimeofday () -. t0;
-          metrics;
-          counters = Pf_obs.Counters.to_alist reg })
+        let policy_name = Pf_core.Policy.name s.policy in
+        let digest =
+          match cache with
+          | None -> None
+          | Some _ ->
+              Some
+                (Run_cache.digest ~workload:s.workload ~window
+                   ~fast_forward:wl.Pf_workloads.Workload.fast_forward
+                   ~policy:policy_name ~label:s.label ~config)
+        in
+        let cached =
+          match (cache, digest) with
+          | Some c, Some d -> (
+              match Run_cache.find c ~digest:d with
+              | None -> None
+              | Some j -> (
+                  (* a corrupt entry must never kill the sweep: any
+                     decode failure downgrades to a miss *)
+                  let decoded = try Some (run_of_json j) with _ -> None in
+                  match decoded with
+                  | Some r when r.workload = s.workload && r.label = s.label
+                    ->
+                      (* replayed verbatim, original [wall_s] included,
+                         so a fully-hit sweep reproduces its document
+                         byte for byte *)
+                      Some r
+                  | _ ->
+                      Printf.eprintf
+                        "Run_cache: ignoring %s/%s entry that fails to \
+                         decode; will resimulate\n\
+                         %!"
+                        s.workload s.label;
+                      None))
+          | _ -> None
+        in
+        match cached with
+        | Some r -> r
+        | None ->
+            let prep = Hashtbl.find prep_index (s.workload, window) in
+            let reg = Pf_obs.Counters.create () in
+            let t0 = Unix.gettimeofday () in
+            let metrics =
+              Run.simulate ~counters:reg ~config prep ~policy:s.policy
+            in
+            let r =
+              { workload = s.workload;
+                label = s.label;
+                policy = policy_name;
+                config;
+                window;
+                instructions = Pf_trace.Tracer.length prep.Run.trace;
+                static_spawns = List.length prep.Run.all_spawns;
+                wall_s = Unix.gettimeofday () -. t0;
+                metrics;
+                counters = Pf_obs.Counters.to_alist reg }
+            in
+            (match (cache, digest) with
+            | Some c, Some d -> Run_cache.store c ~digest:d (run_to_json r)
+            | _ -> ());
+            r)
       resolved
   in
   (Array.to_list runs, Array.to_list prepared)
@@ -197,36 +278,6 @@ type t = {
 
 let document ~tool ~jobs ~wall_s runs =
   { manifest = Manifest.create ~tool ~jobs ~wall_s; runs }
-
-let run_to_json r =
-  Json.Obj
-    [ ("workload", Json.String r.workload);
-      ("label", Json.String r.label);
-      ("policy", Json.String r.policy);
-      ("window", Json.Int r.window);
-      ("instructions", Json.Int r.instructions);
-      ("static_spawns", Json.Int r.static_spawns);
-      ("wall_s", Json.Float r.wall_s);
-      ("config", Codec.config_to_json r.config);
-      ("metrics", Codec.metrics_to_json r.metrics);
-      ("counters", Codec.counters_to_json r.counters) ]
-
-let run_of_json j =
-  { workload = Json.to_str (Json.member "workload" j);
-    label = Json.to_str (Json.member "label" j);
-    policy = Json.to_str (Json.member "policy" j);
-    window = Json.to_int (Json.member "window" j);
-    instructions = Json.to_int (Json.member "instructions" j);
-    static_spawns = Json.to_int (Json.member "static_spawns" j);
-    wall_s = Json.to_float (Json.member "wall_s" j);
-    config = Codec.config_of_json (Json.member "config" j);
-    metrics = Codec.metrics_of_json (Json.member "metrics" j);
-    (* additive schema-v1 field: absent in documents written before the
-       counter registry existed *)
-    counters =
-      (match Json.member_opt "counters" j with
-      | Some c -> Codec.counters_of_json c
-      | None -> []) }
 
 let to_json t =
   Json.Obj

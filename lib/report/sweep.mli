@@ -67,10 +67,18 @@ type prepared_window = {
     [jobs <= 1] runs inline on the calling domain; higher values spawn
     that many worker domains. [progress] is called from the calling
     domain only, at least once per completed item.
+
+    [cache] consults and fills a {!Run_cache}: a spec whose digest hits
+    replays the stored run verbatim (its original [wall_s] included, so
+    a fully-hit sweep reproduces its document byte for byte) and skips
+    only the simulation — windows are still prepared, because the
+    returned [prepared_window]s feed follow-on analyses. Invalid
+    entries are reported on stderr and resimulated.
     @raise Invalid_argument on an unknown workload name or duplicate
     (workload, label) pairs. *)
 val execute :
   ?progress:(done_:int -> total:int -> unit) ->
+  ?cache:Run_cache.t ->
   jobs:int ->
   spec list ->
   run list * prepared_window list

@@ -1,29 +1,49 @@
-type t = (int, int array) Hashtbl.t
+(* Direct-mapped on the instruction PC: the Task Spawn Unit probes the
+   index for every spawn candidate the fetch stream surfaces, so the
+   lookup must cost a bounds check and an array read, not a Hashtbl
+   probe. Code PCs are small and dense (program text), so a pc-indexed
+   array of occurrence arrays wastes little. *)
+type t = { by_pc : int array array }
+
+let none = [||]
 
 let build (tr : Tracer.t) : t =
-  let lists : (int, int list) Hashtbl.t = Hashtbl.create 4096 in
-  (* iterate backwards so consing yields ascending index order *)
-  for i = Array.length tr.Tracer.dyns - 1 downto 0 do
-    let pc = tr.Tracer.dyns.(i).Dyn.pc in
-    let tail = try Hashtbl.find lists pc with Not_found -> [] in
-    Hashtbl.replace lists pc (i :: tail)
-  done;
-  let index = Hashtbl.create (Hashtbl.length lists) in
-  Hashtbl.iter (fun pc l -> Hashtbl.replace index pc (Array.of_list l)) lists;
-  index
+  let dyns = tr.Tracer.dyns in
+  let max_pc = ref (-1) in
+  Array.iter
+    (fun (d : Dyn.t) -> if d.Dyn.pc > !max_pc then max_pc := d.Dyn.pc)
+    dyns;
+  let counts = Array.make (!max_pc + 2) 0 in
+  Array.iter
+    (fun (d : Dyn.t) -> counts.(d.Dyn.pc) <- counts.(d.Dyn.pc) + 1)
+    dyns;
+  let by_pc = Array.make (!max_pc + 2) none in
+  Array.iteri (fun pc c -> if c > 0 then by_pc.(pc) <- Array.make c 0) counts;
+  (* reuse [counts] as per-pc fill cursors *)
+  let fill = counts in
+  Array.fill fill 0 (Array.length fill) 0;
+  Array.iteri
+    (fun i (d : Dyn.t) ->
+      let pc = d.Dyn.pc in
+      by_pc.(pc).(fill.(pc)) <- i;
+      fill.(pc) <- fill.(pc) + 1)
+    dyns;
+  { by_pc }
 
 let next_after (t : t) ~pc ~index =
-  match Hashtbl.find_opt t pc with
-  | None -> None
-  | Some occs ->
-      (* binary search: first element > index *)
-      let n = Array.length occs in
-      let lo = ref 0 and hi = ref n in
-      while !lo < !hi do
-        let mid = (!lo + !hi) / 2 in
-        if occs.(mid) <= index then lo := mid + 1 else hi := mid
-      done;
-      if !lo < n then Some occs.(!lo) else None
+  if pc < 0 || pc >= Array.length t.by_pc then -1
+  else begin
+    let occs = t.by_pc.(pc) in
+    (* binary search: first element > index *)
+    let n = Array.length occs in
+    let lo = ref 0 and hi = ref n in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if occs.(mid) <= index then lo := mid + 1 else hi := mid
+    done;
+    if !lo < n then occs.(!lo) else -1
+  end
 
 let count (t : t) ~pc =
-  match Hashtbl.find_opt t pc with Some a -> Array.length a | None -> 0
+  if pc >= 0 && pc < Array.length t.by_pc then Array.length t.by_pc.(pc)
+  else 0

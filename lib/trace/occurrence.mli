@@ -8,8 +8,10 @@ type t
 val build : Tracer.t -> t
 
 (** [next_after t ~pc ~index] — smallest window index strictly greater
-    than [index] whose instruction is at [pc]; [None] if none. *)
-val next_after : t -> pc:int -> index:int -> int option
+    than [index] whose instruction is at [pc]; [-1] if none. The
+    sentinel (rather than an option) keeps the spawn unit's per-fetch
+    probe allocation-free. *)
+val next_after : t -> pc:int -> index:int -> int
 
 (** Number of occurrences of [pc] in the window. *)
 val count : t -> pc:int -> int

@@ -23,6 +23,7 @@ type t = {
   sp_hint : bool;
   feedback : bool;
   split_spawning : bool;
+  no_event_skip : bool;
 }
 
 let superscalar =
@@ -49,7 +50,8 @@ let superscalar =
     divert_chains = true;
     sp_hint = true;
     feedback = true;
-    split_spawning = false }
+    split_spawning = false;
+    no_event_skip = false }
 
 let polyflow = { superscalar with fetch_tasks_per_cycle = 2; max_tasks = 8 }
 

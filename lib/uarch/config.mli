@@ -43,6 +43,12 @@ type t = {
           just the tail) to spawn by splitting its own region, so nested
           hammocks can all be spawned past. Off by default — the paper's
           PolyFlow gives each thread a single successor. *)
+  no_event_skip : bool;
+      (** debug flag: force the cycle loop to step one cycle at a time
+          instead of skipping dead stretches to the next scheduled
+          event. Timing and metrics are identical either way (held by
+          test_skip.ml and the goldens); the flag exists so differential
+          tests have a reference build to compare against. *)
 }
 
 (** The 8-wide superscalar baseline. *)

@@ -24,6 +24,13 @@
     baseline. Wrong-path instructions are modelled as fetch stalls
     rather than fetched-and-squashed work; see DESIGN.md. *)
 
+(** Timing-model version tag. Bumped whenever an engine change could
+    legitimately alter cycles or metrics (the golden suite pins the
+    actual numbers); the sweep result cache includes it in the digest
+    that keys cached run records, so stale results from an older timing
+    model are never returned. *)
+val timing_version : string
+
 type input = {
   config : Config.t;
   trace : Pf_trace.Tracer.t;        (** with dependence info filled in *)

@@ -34,11 +34,14 @@ let add_sorted q i =
   end
 
 let sweep q f =
+  (* runs every cycle over every parked entry; [r] and [w] never exceed
+     [q.len] <= [Array.length q.a], so the accesses skip bounds checks *)
+  let a = q.a in
   let w = ref 0 in
   for r = 0 to q.len - 1 do
-    let i = q.a.(r) in
+    let i = Array.unsafe_get a r in
     if f i then begin
-      if !w <> r then q.a.(!w) <- i;
+      if !w <> r then Array.unsafe_set a !w i;
       incr w
     end
   done;

@@ -236,6 +236,177 @@ let test_table_aggregates () =
       Alcotest.(check (float 1e-9)) "average matches direct computation"
         expected avg
 
+(* ---- sweep result cache ---- *)
+
+let temp_cache_dir =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    let dir =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "pf_run_cache_%d_%d" (Unix.getpid ()) !n)
+    in
+    (* Run_cache.create makes the directory; clear leftovers so a
+       previous killed run can't seed spurious hits *)
+    if Sys.file_exists dir then
+      Array.iter
+        (fun f -> Sys.remove (Filename.concat dir f))
+        (Sys.readdir dir);
+    dir
+
+(* Reconstruct, from public inputs only, the digest [Sweep.execute]
+   uses for the gzip/postdoms cell of [small_specs]. *)
+let gzip_postdoms_digest () =
+  let wl = Option.get (Pf_workloads.Suite.find "gzip") in
+  Run_cache.digest ~workload:"gzip" ~window:3_000
+    ~fast_forward:wl.Pf_workloads.Workload.fast_forward ~policy:"postdoms"
+    ~label:"postdoms" ~config:Config.polyflow
+
+let test_cache_hit_round_trip () =
+  let cache = Run_cache.create ~dir:(temp_cache_dir ()) in
+  let cold, _ = Sweep.execute ~cache ~jobs:1 small_specs in
+  let warm, prepared = Sweep.execute ~cache ~jobs:1 small_specs in
+  Alcotest.(check bool) "hits replay the stored runs verbatim" true
+    (cold = warm);
+  Alcotest.(check int) "windows still prepared on a full hit" 2
+    (List.length prepared);
+  Alcotest.(check bool) "the sweep's digest is reconstructible" true
+    (Run_cache.find cache ~digest:(gzip_postdoms_digest ()) <> None)
+
+let test_cache_digest_sensitivity () =
+  let wl = Option.get (Pf_workloads.Suite.find "gzip") in
+  let ff = wl.Pf_workloads.Workload.fast_forward in
+  let d ?(workload = "gzip") ?(window = 3_000) ?(fast_forward = ff)
+      ?(policy = "postdoms") ?(label = "postdoms")
+      ?(config = Config.polyflow) () =
+    Run_cache.digest ~workload ~window ~fast_forward ~policy ~label ~config
+  in
+  let c = Config.polyflow in
+  let variants =
+    [ ("workload", d ~workload:"mcf" ());
+      ("window", d ~window:4_000 ());
+      ("fast_forward", d ~fast_forward:(ff + 1) ());
+      ("policy", d ~policy:"rec_pred" ());
+      ("label", d ~label:"postdoms@variant" ()) ]
+    @ List.map
+        (fun (name, config) -> (name, d ~config ()))
+        [ ("width", { c with Config.width = c.Config.width + 1 });
+          ( "fetch_tasks_per_cycle",
+            { c with
+              Config.fetch_tasks_per_cycle = c.Config.fetch_tasks_per_cycle + 1
+            } );
+          ("max_tasks", { c with Config.max_tasks = c.Config.max_tasks + 1 });
+          ( "rob_entries",
+            { c with Config.rob_entries = c.Config.rob_entries + 1 } );
+          ( "scheduler_entries",
+            { c with
+              Config.scheduler_entries = c.Config.scheduler_entries + 1 } );
+          ("fus", { c with Config.fus = c.Config.fus + 1 });
+          ( "divert_entries",
+            { c with Config.divert_entries = c.Config.divert_entries + 1 } );
+          ( "retire_width",
+            { c with Config.retire_width = c.Config.retire_width + 1 } );
+          ( "min_mispredict_penalty",
+            { c with
+              Config.min_mispredict_penalty =
+                c.Config.min_mispredict_penalty + 1 } );
+          ( "frontend_depth",
+            { c with Config.frontend_depth = c.Config.frontend_depth + 1 } );
+          ( "fetch_buffer",
+            { c with Config.fetch_buffer = c.Config.fetch_buffer + 1 } );
+          ( "max_spawn_distance",
+            { c with
+              Config.max_spawn_distance = c.Config.max_spawn_distance + 1 } );
+          ( "min_task_instrs",
+            { c with Config.min_task_instrs = c.Config.min_task_instrs + 1 } );
+          ( "spawn_latency",
+            { c with Config.spawn_latency = c.Config.spawn_latency + 1 } );
+          ( "squash_penalty",
+            { c with Config.squash_penalty = c.Config.squash_penalty + 1 } );
+          ("ras_depth", { c with Config.ras_depth = c.Config.ras_depth + 1 });
+          ( "max_cycles_per_instr",
+            { c with
+              Config.max_cycles_per_instr = c.Config.max_cycles_per_instr + 1
+            } );
+          ( "biased_fetch",
+            { c with Config.biased_fetch = not c.Config.biased_fetch } );
+          ( "shared_history",
+            { c with Config.shared_history = not c.Config.shared_history } );
+          ("rob_shares", { c with Config.rob_shares = not c.Config.rob_shares });
+          ( "divert_chains",
+            { c with Config.divert_chains = not c.Config.divert_chains } );
+          ("sp_hint", { c with Config.sp_hint = not c.Config.sp_hint });
+          ("feedback", { c with Config.feedback = not c.Config.feedback });
+          ( "split_spawning",
+            { c with Config.split_spawning = not c.Config.split_spawning } );
+          ( "no_event_skip",
+            { c with Config.no_event_skip = not c.Config.no_event_skip } ) ]
+  in
+  let seen = Hashtbl.create 64 in
+  Hashtbl.add seen (d ()) "base";
+  List.iter
+    (fun (name, digest) ->
+      (match Hashtbl.find_opt seen digest with
+      | Some clash ->
+          Alcotest.failf "changing %s collides with %s" name clash
+      | None -> ());
+      Hashtbl.add seen digest name)
+    variants
+
+let test_cache_bypass_and_verbatim_replay () =
+  let cache = Run_cache.create ~dir:(temp_cache_dir ()) in
+  let specs = [ Sweep.spec "gzip" Pf_core.Policy.Postdoms ~window:3_000 ] in
+  let cold, _ = Sweep.execute ~cache ~jobs:1 specs in
+  let digest = gzip_postdoms_digest () in
+  (* plant a sentinel wall_s in the stored entry, via the public API *)
+  let patched =
+    match Run_cache.find cache ~digest with
+    | Some (Json.Obj members) ->
+        Json.Obj
+          (List.map
+             (fun (k, v) ->
+               if k = "wall_s" then (k, Json.Float 123.456) else (k, v))
+             members)
+    | _ -> Alcotest.fail "expected a cached run object"
+  in
+  Run_cache.store cache ~digest patched;
+  (match Sweep.execute ~cache ~jobs:1 specs with
+  | [ r ], _ ->
+      Alcotest.(check (float 0.)) "a hit replays the entry verbatim" 123.456
+        r.Sweep.wall_s
+  | _ -> Alcotest.fail "one run expected");
+  (* no [cache] argument is exactly bench's --no-cache: resimulate *)
+  match Sweep.execute ~jobs:1 specs with
+  | [ f ], _ ->
+      let c = List.hd cold in
+      Alcotest.(check bool) "bypass resimulates (sentinel gone)" false
+        (f.Sweep.wall_s = 123.456);
+      Alcotest.(check string) "bypass reproduces the cold metrics"
+        (Json.to_string (Codec.metrics_to_json c.Sweep.metrics))
+        (Json.to_string (Codec.metrics_to_json f.Sweep.metrics))
+  | _ -> Alcotest.fail "one run expected"
+
+let test_cache_corruption_ignored () =
+  let cache = Run_cache.create ~dir:(temp_cache_dir ()) in
+  let specs = [ Sweep.spec "gzip" Pf_core.Policy.Postdoms ~window:3_000 ] in
+  let cold, _ = Sweep.execute ~cache ~jobs:1 specs in
+  let digest = gzip_postdoms_digest () in
+  let path = Filename.concat (Run_cache.dir cache) (digest ^ ".json") in
+  let oc = open_out path in
+  output_string oc "{ \"digest\": truncated garb";
+  close_out oc;
+  (* the corrupt entry downgrades to a miss (with a stderr warning),
+     the sweep resimulates and repairs the entry *)
+  (match Sweep.execute ~cache ~jobs:1 specs with
+  | [ r ], _ ->
+      let c = List.hd cold in
+      Alcotest.(check string) "resimulated metrics match the cold run"
+        (Json.to_string (Codec.metrics_to_json c.Sweep.metrics))
+        (Json.to_string (Codec.metrics_to_json r.Sweep.metrics))
+  | _ -> Alcotest.fail "one run expected");
+  Alcotest.(check bool) "entry repaired in place" true
+    (Run_cache.find cache ~digest <> None)
+
 (* ---- policy names round-trip (the CLI and the schema rely on it) ---- *)
 
 let test_policy_of_string () =
@@ -268,4 +439,9 @@ let suite =
         case "sweep: document and CSV round trip" test_sweep_document_roundtrip;
         case "sweep: bad input rejected" test_sweep_rejects_bad_input;
         case "table: averages match direct computation" test_table_aggregates;
+        case "cache: hits replay runs byte-identically" test_cache_hit_round_trip;
+        case "cache: digest keyed on every input" test_cache_digest_sensitivity;
+        case "cache: no-cache bypasses, hits replay verbatim"
+          test_cache_bypass_and_verbatim_replay;
+        case "cache: corrupt entries resimulated" test_cache_corruption_ignored;
         case "policy names parse back" test_policy_of_string ] ) ]

@@ -93,13 +93,13 @@ let test_occurrence_index () =
   let occ = Occurrence.build tr in
   (* head block body pc = 0x1004 occurs 5 times *)
   Alcotest.(check int) "five iterations" 5 (Occurrence.count occ ~pc:0x1004);
-  Alcotest.(check (option int)) "first after 0" (Some 3)
+  Alcotest.(check int) "first after 0" 3
     (Occurrence.next_after occ ~pc:0x1004 ~index:1);
-  Alcotest.(check (option int)) "after index 3" (Some 5)
+  Alcotest.(check int) "after index 3" 5
     (Occurrence.next_after occ ~pc:0x1004 ~index:3);
-  Alcotest.(check (option int)) "after the last" None
+  Alcotest.(check int) "after the last" (-1)
     (Occurrence.next_after occ ~pc:0x1004 ~index:9);
-  Alcotest.(check (option int)) "unknown pc" None
+  Alcotest.(check int) "unknown pc" (-1)
     (Occurrence.next_after occ ~pc:0x9999 ~index:0)
 
 (* Properties over random loop programs. *)
@@ -151,8 +151,8 @@ let prop_occurrence_complete =
       let pc = 0x1004 in
       let rec walk acc idx =
         match Occurrence.next_after occ ~pc ~index:idx with
-        | Some j -> walk (j :: acc) j
-        | None -> List.rev acc
+        | -1 -> List.rev acc
+        | j -> walk (j :: acc) j
       in
       let found = walk [] (-1) in
       let expected = ref [] in
