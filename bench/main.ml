@@ -745,7 +745,7 @@ let run_full () =
      engine or config change misses automatically via the digest *)
   let cache =
     if !no_cache then None
-    else Some (Pf_report.Run_cache.create ~dir:!cache_dir)
+    else Some (Pf_report.Run_cache.create ~dir:!cache_dir ())
   in
   let runs, prepared = Sweep.execute ~progress ?cache ~jobs:!jobs specs in
   let sweep_wall = Unix.gettimeofday () -. t_start in

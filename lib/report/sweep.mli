@@ -53,6 +53,22 @@ type run = {
           member; empty when loaded from a document predating it. *)
 }
 
+(** The effective configuration of a spec: its explicit [config] if any,
+    otherwise the policy default ({!Pf_uarch.Config.superscalar} for
+    [No_spawn], {!Pf_uarch.Config.polyflow} for everything else). This is
+    the value {!execute} simulates with and digests for the cache; it is
+    exposed so other schedulers (polyflow_serve) resolve identically. *)
+val resolve_config : spec -> Pf_uarch.Config.t
+
+(** The run record's canonical JSON encoding — the ["runs"] array
+    element of a report document, and exactly the payload a
+    {!Run_cache} entry stores and replays. Byte-stable: serializing a
+    decoded run reproduces the original bytes. *)
+val run_to_json : run -> Json.t
+
+(** @raise Json.Decode_error on schema violations. *)
+val run_of_json : Json.t -> run
+
 (** A prepared (workload, window) pair, exposed so callers can run
     extra analyses (ILP limits, micro-benchmarks) on the same windows
     the sweep measured. *)

@@ -1,0 +1,30 @@
+(** Optional HTTP/1.1 shim: the same requests and replies as the
+    Unix-socket protocol, carried as JSON bodies for clients that speak
+    HTTP more easily than raw sockets (curl, load balancers' health
+    checks). Endpoints (docs/SERVING.md):
+
+    - [POST /run] — body is one run-request object; the reply body is
+      the run reply. HTTP status mirrors the reply: 200 ok, 400 for
+      [parse_error]/[bad_request]/[unknown_*], 504 [timeout],
+      503 [shutting_down], 500 [internal].
+    - [GET /stats] — the stats reply.
+    - [GET /healthz] — liveness: the ping reply, always 200.
+
+    One request per connection ([Connection: close]); [shutdown] is
+    deliberately not reachable over TCP — stop the daemon via the local
+    Unix socket or a signal. Binds to 127.0.0.1 only. *)
+
+type t
+
+(** [start ~port ~dispatch] binds 127.0.0.1:[port] ([0] picks a free
+    port — read it back with {!port}) and serves each request through
+    [dispatch] on its own thread.
+    @raise Unix.Unix_error if the port cannot be bound. *)
+val start : port:int -> dispatch:(Protocol.request -> Protocol.response) -> t
+
+(** The bound port (useful with [~port:0]). *)
+val port : t -> int
+
+(** Stop accepting, join the acceptor and close the listening socket.
+    In-flight request threads finish on their own. Idempotent. *)
+val stop : t -> unit

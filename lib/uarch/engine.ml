@@ -167,6 +167,10 @@ module Scratch = struct
   let checkin s = Domain.DLS.get pool := Some s
 end
 
+let prewarm_scratch ~window =
+  if window <= 0 then invalid_arg "Engine.prewarm_scratch: window <= 0";
+  Scratch.checkin (Scratch.checkout window)
+
 let simulate input =
   let cfg = input.config in
   (* Observability. [observe] is computed once; every hook site below is

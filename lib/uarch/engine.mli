@@ -31,6 +31,17 @@
     model are never returned. *)
 val timing_version : string
 
+(** Pre-allocate the calling domain's pooled scratch (the window-sized
+    pipeline-state arrays) for windows of [window] instructions, so the
+    domain's first simulation of that size pays no major-heap
+    allocation. The pool is per-domain state that [simulate] keeps warm
+    automatically across calls; this only matters for a long-lived
+    worker domain (a polyflow_serve pool member) that wants its first
+    request to be as fast as its thousandth. A later checkout of a
+    different window size simply misses and allocates fresh.
+    @raise Invalid_argument if [window <= 0]. *)
+val prewarm_scratch : window:int -> unit
+
 type input = {
   config : Config.t;
   trace : Pf_trace.Tracer.t;        (** with dependence info filled in *)

@@ -246,12 +246,18 @@ let temp_cache_dir =
       Filename.concat (Filename.get_temp_dir_name ())
         (Printf.sprintf "pf_run_cache_%d_%d" (Unix.getpid ()) !n)
     in
-    (* Run_cache.create makes the directory; clear leftovers so a
-       previous killed run can't seed spurious hits *)
-    if Sys.file_exists dir then
-      Array.iter
-        (fun f -> Sys.remove (Filename.concat dir f))
-        (Sys.readdir dir);
+    (* Run_cache.create makes the directory; clear leftovers (including
+       shard subdirectories) so a previous killed run can't seed
+       spurious hits *)
+    let rec rm_rf p =
+      if Sys.file_exists p then
+        if Sys.is_directory p then begin
+          Array.iter (fun f -> rm_rf (Filename.concat p f)) (Sys.readdir p);
+          Sys.rmdir p
+        end
+        else Sys.remove p
+    in
+    rm_rf dir;
     dir
 
 (* Reconstruct, from public inputs only, the digest [Sweep.execute]
@@ -263,7 +269,7 @@ let gzip_postdoms_digest () =
     ~label:"postdoms" ~config:Config.polyflow
 
 let test_cache_hit_round_trip () =
-  let cache = Run_cache.create ~dir:(temp_cache_dir ()) in
+  let cache = Run_cache.create ~dir:(temp_cache_dir ()) () in
   let cold, _ = Sweep.execute ~cache ~jobs:1 small_specs in
   let warm, prepared = Sweep.execute ~cache ~jobs:1 small_specs in
   Alcotest.(check bool) "hits replay the stored runs verbatim" true
@@ -354,7 +360,7 @@ let test_cache_digest_sensitivity () =
     variants
 
 let test_cache_bypass_and_verbatim_replay () =
-  let cache = Run_cache.create ~dir:(temp_cache_dir ()) in
+  let cache = Run_cache.create ~dir:(temp_cache_dir ()) () in
   let specs = [ Sweep.spec "gzip" Pf_core.Policy.Postdoms ~window:3_000 ] in
   let cold, _ = Sweep.execute ~cache ~jobs:1 specs in
   let digest = gzip_postdoms_digest () in
@@ -387,11 +393,11 @@ let test_cache_bypass_and_verbatim_replay () =
   | _ -> Alcotest.fail "one run expected"
 
 let test_cache_corruption_ignored () =
-  let cache = Run_cache.create ~dir:(temp_cache_dir ()) in
+  let cache = Run_cache.create ~dir:(temp_cache_dir ()) () in
   let specs = [ Sweep.spec "gzip" Pf_core.Policy.Postdoms ~window:3_000 ] in
   let cold, _ = Sweep.execute ~cache ~jobs:1 specs in
   let digest = gzip_postdoms_digest () in
-  let path = Filename.concat (Run_cache.dir cache) (digest ^ ".json") in
+  let path = Run_cache.path cache ~digest in
   let oc = open_out path in
   output_string oc "{ \"digest\": truncated garb";
   close_out oc;
