@@ -18,6 +18,10 @@ bench-smoke:
 # Extra flags pass through ARGS, e.g. `make bench-engine ARGS=--smoke`.
 bench-engine:
 	dune exec bench/engine_bench.exe -- $(ARGS)
+# Batched-vs-sequential cold-sweep comparison only (Run.simulate_batch
+# against N fresh prepare+simulate pairs), printed, no artifact.
+bench-batch:
+	dune exec bench/engine_bench.exe -- --batch-only $(ARGS)
 # Simulation-as-a-service (docs/SERVING.md). `serve` boots the daemon on
 # SOCKET (flags pass through ARGS, e.g. `make serve ARGS=--http-port\ 8080`);
 # `bench-serve` runs the load generator -> BENCH_serve.json, and its
@@ -47,10 +51,11 @@ help:
 	@echo "make bench        full figure-reproduction sweep (minutes)"
 	@echo "make bench-smoke  tiny end-to-end sweep self-check (~seconds)"
 	@echo "make bench-engine engine microbenchmark -> BENCH_engine.json"
+	@echo "make bench-batch  batched vs sequential cold sweeps (printed only)"
 	@echo "make serve        boot the polyflow_serve daemon (SOCKET, ARGS)"
 	@echo "make bench-serve  serving latency/throughput bench -> BENCH_serve.json"
 	@echo "make fuzz-smoke   fixed-seed differential-fuzz batch (~seconds)"
 	@echo "make fuzz         randomized fuzz campaign (FUZZ_SEED, FUZZ_COUNT)"
 	@echo "make doc          build the odoc API docs"
 	@echo "make clean        remove _build"
-.PHONY: all test ci bench bench-smoke bench-engine serve bench-serve fuzz fuzz-smoke doc clean help
+.PHONY: all test ci bench bench-smoke bench-engine bench-batch serve bench-serve fuzz fuzz-smoke doc clean help

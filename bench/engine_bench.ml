@@ -28,6 +28,7 @@ let jobs = ref (min 8 (Domain.recommended_domain_count ()))
 let json_out = ref "BENCH_engine.json"
 let smoke = ref false
 let no_grid = ref false
+let batch_only = ref false
 let window_override =
   ref (Option.map int_of_string (Sys.getenv_opt "PF_BENCH_WINDOW"))
 
@@ -37,9 +38,10 @@ let () =
       ("--json", Arg.Set_string json_out, "FILE  output artifact (default: BENCH_engine.json)");
       ("--window", Arg.Int (fun w -> window_override := Some w), "N  override every workload window");
       ("--no-grid", Arg.Set no_grid, "  skip the full-grid sweep timing");
+      ("--batch-only", Arg.Set batch_only, "  print only the batched-vs-sequential section, no artifact");
       ("--smoke", Arg.Set smoke, "  fast self-checking run (used by dune runtest)") ]
     (fun a -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" a)))
-    "bench/engine_bench.exe [--jobs N] [--json FILE] [--window N] [--no-grid] [--smoke]"
+    "bench/engine_bench.exe [--jobs N] [--json FILE] [--window N] [--no-grid] [--batch-only] [--smoke]"
 
 (* one policy per policy class; the grid section covers the rest *)
 let phase_policies =
@@ -116,6 +118,104 @@ let measure_workload ~window_override (wl : Pf_workloads.Workload.t) =
     flatten_s;
     sims }
 
+(* ---- batched vs sequential cold sweeps ----
+
+   The batched engine answers N same-window policy runs with one
+   prepare and one lockstep trace pass (Run.simulate_batch); a cold
+   sequential sweep of the same N runs pays N fresh prepares and N
+   full trace passes. Both sides are measured: `seq_cold_s` for size B
+   is the sum of B independently-timed (fresh prepare + solo simulate)
+   pairs, `batched_cold_s` is one timed (prepare + simulate_batch of B
+   members). Policies cycle through the phase classes so every batch
+   is mixed-policy. *)
+
+let batch_sizes = [ 1; 2; 4; 8 ]
+let max_batch_size = 8
+let batch_policy i = List.nth phase_policies (i mod List.length phase_policies)
+
+type batch_size_row = {
+  size : int;
+  seq_cold_s : float;
+  batched_cold_s : float;
+}
+
+type batch_row = {
+  b_workload : string;
+  b_window : int;
+  b_instructions : int;
+  b_sizes : batch_size_row list;
+}
+
+let batch_speedup (r : batch_size_row) = r.seq_cold_s /. r.batched_cold_s
+
+(* aggregate Minstr/s of the batch: B runs of n instructions each over
+   the one batched wall *)
+let batch_minstr_per_s (b : batch_row) (r : batch_size_row) =
+  float_of_int (r.size * b.b_instructions) /. r.batched_cold_s /. 1e6
+
+let measure_batch ~window_override (wl : Pf_workloads.Workload.t) =
+  let window =
+    match window_override with
+    | Some w -> w
+    | None -> wl.Pf_workloads.Workload.window
+  in
+  let prepare () =
+    Run.prepare wl.Pf_workloads.Workload.program
+      ~setup:wl.Pf_workloads.Workload.setup
+      ~fast_forward:wl.Pf_workloads.Workload.fast_forward ~window
+  in
+  (* one unmeasured round first: both sides should see warm allocator
+     and scratch-pool state, or the side measured first eats the
+     process warm-up and skews tiny windows *)
+  (let prep = prepare () in
+   ignore (Run.simulate prep ~policy:(batch_policy 0)));
+  let solo_cold =
+    Array.init max_batch_size (fun i ->
+        let _, s =
+          time (fun () ->
+              let prep = prepare () in
+              ignore (Run.simulate prep ~policy:(batch_policy i)))
+        in
+        s)
+  in
+  let instructions = ref 0 in
+  let rows =
+    List.map
+      (fun size ->
+        let prep, batched_cold_s =
+          time (fun () ->
+              let prep = prepare () in
+              ignore
+                (Run.simulate_batch prep
+                   (List.init size (fun i -> Run.batch_run (batch_policy i))));
+              prep)
+        in
+        instructions := Pf_trace.Tracer.length prep.Run.trace;
+        let seq_cold_s =
+          Array.fold_left ( +. ) 0. (Array.sub solo_cold 0 size)
+        in
+        { size; seq_cold_s; batched_cold_s })
+      batch_sizes
+  in
+  { b_workload = wl.Pf_workloads.Workload.name;
+    b_window = window;
+    b_instructions = !instructions;
+    b_sizes = rows }
+
+(* the full grid prepares 12 windows; the batch section pays ~12 fresh
+   prepares per workload, so full mode measures a 3-workload subset *)
+let batch_workloads = [ "gzip"; "mcf"; "twolf" ]
+
+let print_batch_row b =
+  List.iter
+    (fun r ->
+      Printf.printf
+        "  %-10s window %7d  B=%d  seq-cold %6.3f s  batched %6.3f s  \
+         speedup %5.2fx  (%.2f Minstr/s)\n%!"
+        b.b_workload b.b_window r.size r.seq_cold_s r.batched_cold_s
+        (batch_speedup r) (batch_minstr_per_s b r))
+    b.b_sizes
+
 (* ---- grid: the full workload×policy sweep, timed end to end ---- *)
 
 let grid_specs ~window_override () =
@@ -174,7 +274,39 @@ let workload_to_json w =
       ("flatten_sharing_speedup", Json.Float (unshared_wall w /. shared_wall w));
       ("simulate", Json.List (List.map sim_to_json w.sims)) ]
 
-let document ~tool ~wall_s ~rows ~grid =
+let batch_row_to_json b =
+  Json.Obj
+    [ ("workload", Json.String b.b_workload);
+      ("window", Json.Int b.b_window);
+      ("instructions", Json.Int b.b_instructions);
+      ( "sizes",
+        Json.List
+          (List.map
+             (fun r ->
+               Json.Obj
+                 [ ("size", Json.Int r.size);
+                   ("seq_cold_s", Json.Float r.seq_cold_s);
+                   ("batched_cold_s", Json.Float r.batched_cold_s);
+                   ("speedup", Json.Float (batch_speedup r));
+                   ( "batched_minstr_per_s",
+                     Json.Float (batch_minstr_per_s b r) ) ])
+             b.b_sizes) ) ]
+
+(* aggregate across batch rows at one size: (Σ B·n) / Σ batched wall,
+   and Σ seq wall / Σ batched wall *)
+let batch_totals batched ~size =
+  let pick b = List.find_opt (fun r -> r.size = size) b.b_sizes in
+  let fold f =
+    List.fold_left
+      (fun a b -> match pick b with Some r -> a +. f b r | None -> a)
+      0. batched
+  in
+  let instrs = fold (fun b r -> float_of_int (r.size * b.b_instructions)) in
+  let seq = fold (fun _ r -> r.seq_cold_s) in
+  let wall = fold (fun _ r -> r.batched_cold_s) in
+  if wall = 0. then (0., 0.) else (instrs /. wall /. 1e6, seq /. wall)
+
+let document ~tool ~wall_s ~rows ~batched ~grid =
   let sum f = List.fold_left (fun a w -> a +. f w) 0. rows in
   let instrs =
     List.fold_left
@@ -182,6 +314,8 @@ let document ~tool ~wall_s ~rows ~grid =
       0 rows
   in
   let sim_s = sum simulate_total in
+  let batched_minstr, _ = batch_totals batched ~size:max_batch_size in
+  let _, speedup_4 = batch_totals batched ~size:4 in
   let totals =
     Json.Obj
       [ ("prepare_s", Json.Float (sum (fun w -> w.prepare_s)));
@@ -193,6 +327,8 @@ let document ~tool ~wall_s ~rows ~grid =
           Json.Float (sum unshared_wall /. sum shared_wall) );
         ( "engine_minstr_per_s",
           Json.Float (float_of_int instrs /. sim_s /. 1e6) );
+        ("batched_minstr_per_s", Json.Float batched_minstr);
+        ("batch_speedup_4", Json.Float speedup_4);
         ( "allocated_words_per_instr",
           Json.Float (sum allocated_total /. float_of_int instrs) ) ]
   in
@@ -207,6 +343,7 @@ let document ~tool ~wall_s ~rows ~grid =
             (fun p -> Json.String (Pf_core.Policy.name p))
             phase_policies));
       ("workloads", Json.List (List.map workload_to_json rows));
+      ("batched", Json.List (List.map batch_row_to_json batched));
       ( "grid",
         match grid with
         | None -> Json.Null
@@ -255,6 +392,8 @@ let with_history path doc =
         ("tool", sub "manifest" "tool");
         ("timing_version", Json.String Engine.timing_version);
         ("engine_minstr_per_s", sub "totals" "engine_minstr_per_s");
+        ("batched_minstr_per_s", sub "totals" "batched_minstr_per_s");
+        ("batch_speedup_4", sub "totals" "batch_speedup_4");
         ("allocated_words_per_instr", sub "totals" "allocated_words_per_instr")
       ]
   in
@@ -298,13 +437,41 @@ let run_smoke () =
   in
   check "deterministic re-simulation"
     (fingerprint a = fingerprint (List.hd rows));
+  (* batched lockstep simulation: same members, same window — one
+     trace pass must reproduce the solo runs bit for bit *)
+  let batch_wl = Option.get (Pf_workloads.Suite.find "gzip") in
+  let batch_prep =
+    Run.prepare batch_wl.Pf_workloads.Workload.program
+      ~setup:batch_wl.Pf_workloads.Workload.setup
+      ~fast_forward:batch_wl.Pf_workloads.Workload.fast_forward ~window:4_000
+  in
+  let batch_members = List.init max_batch_size batch_policy in
+  let batch_metrics =
+    Run.simulate_batch batch_prep (List.map Run.batch_run batch_members)
+  in
+  let metrics_bytes m = Json.to_string (Pf_report.Codec.metrics_to_json m) in
+  check "batched parity"
+    (List.for_all2
+       (fun policy m ->
+         metrics_bytes m
+         = metrics_bytes (Run.simulate batch_prep ~policy))
+       batch_members batch_metrics);
+  (* the cold-sweep speedup the batch engine exists for: B=4 runs from
+     one prepare + one lockstep pass vs 4 fresh prepare+simulate pairs *)
+  let batch_gzip = measure_batch ~window_override:(Some 4_000) batch_wl in
+  let size4 = List.find (fun r -> r.size = 4) batch_gzip.b_sizes in
+  check "batched cold speedup >= 2x at B=4" (batch_speedup size4 >= 2.0);
   (* the artifact round-trips through the JSON printer/parser *)
-  let doc = document ~tool:"engine_bench --smoke" ~wall_s:0. ~rows ~grid:None in
+  let doc =
+    document ~tool:"engine_bench --smoke" ~wall_s:0. ~rows
+      ~batched:[ batch_gzip ] ~grid:None
+  in
   let reparsed = Json.of_string (Json.to_string_pretty doc) in
   check "artifact round-trip"
     (Json.to_int (Json.member "schema_version" reparsed)
      = Pf_report.Manifest.schema_version
-    && List.length (Json.to_list (Json.member "workloads" reparsed)) = 2);
+    && List.length (Json.to_list (Json.member "workloads" reparsed)) = 2
+    && List.length (Json.to_list (Json.member "batched" reparsed)) = 1);
   (* the steady-state loop must stay allocation-free.  Measured over a
      window long enough to amortize per-simulate setup (predictor
      tables, the O(n) prepared arrays): the budget below leaves ~10
@@ -343,6 +510,21 @@ let run_full () =
         row)
       Pf_workloads.Suite.names
   in
+  let batched =
+    Printf.printf
+      "Batched vs sequential cold sweeps (%s; policies cycle %s):\n%!"
+      (String.concat ", " batch_workloads)
+      (String.concat "/" (List.map Pf_core.Policy.name phase_policies));
+    List.map
+      (fun name ->
+        let b =
+          measure_batch ~window_override:!window_override
+            (Option.get (Pf_workloads.Suite.find name))
+        in
+        print_batch_row b;
+        b)
+      batch_workloads
+  in
   let grid =
     if !no_grid then None
     else begin
@@ -358,19 +540,50 @@ let run_full () =
     end
   in
   let sum f = List.fold_left (fun a w -> a +. f w) 0. rows in
+  let batched_minstr, _ = batch_totals batched ~size:max_batch_size in
+  let _, speedup_4 = batch_totals batched ~size:4 in
   Printf.printf
-    "Totals: prepare %.2f s, simulate %.2f s; flatten-sharing speedup %.2fx on the phase grid\n"
+    "Totals: prepare %.2f s, simulate %.2f s; flatten-sharing speedup %.2fx \
+     on the phase grid; batched %.2f Minstr/s at B=%d, cold speedup %.2fx at \
+     B=4\n"
     (sum (fun w -> w.prepare_s))
     (sum simulate_total)
-    (sum unshared_wall /. sum shared_wall);
+    (sum unshared_wall /. sum shared_wall)
+    batched_minstr max_batch_size speedup_4;
   let doc =
     document
       ~tool:(String.concat " " (Array.to_list Sys.argv))
       ~wall_s:(Unix.gettimeofday () -. t_start)
-      ~rows ~grid
+      ~rows ~batched ~grid
   in
   save !json_out (with_history !json_out doc);
   Printf.printf "Wrote %s (schema %d)\n" !json_out
     Pf_report.Manifest.schema_version
 
-let () = if !smoke then run_smoke () else run_full ()
+(* ---- batch-only: the batched section alone, no artifact ---- *)
+
+let run_batch_only () =
+  Printf.printf
+    "Batched vs sequential cold sweeps (policies cycle %s):\n%!"
+    (String.concat "/" (List.map Pf_core.Policy.name phase_policies));
+  let batched =
+    List.map
+      (fun name ->
+        let b =
+          measure_batch ~window_override:!window_override
+            (Option.get (Pf_workloads.Suite.find name))
+        in
+        print_batch_row b;
+        b)
+      batch_workloads
+  in
+  let batched_minstr, _ = batch_totals batched ~size:max_batch_size in
+  let _, speedup_4 = batch_totals batched ~size:4 in
+  Printf.printf
+    "Aggregate: %.2f Minstr/s at B=%d; cold speedup %.2fx at B=4\n"
+    batched_minstr max_batch_size speedup_4
+
+let () =
+  if !smoke then run_smoke ()
+  else if !batch_only then run_batch_only ()
+  else run_full ()

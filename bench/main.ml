@@ -38,6 +38,7 @@ let smoke = ref false
 let no_micro = ref false
 let no_cache = ref false
 let cache_dir = ref "_cache"
+let verbose = ref false
 
 let () =
   Arg.parse
@@ -48,9 +49,11 @@ let () =
       ("--no-cache", Arg.Set no_cache,
        "  bypass the sweep result cache and resimulate everything");
       ("--cache", Arg.Set_string cache_dir,
-       "DIR  sweep result cache directory (default: _cache)") ]
+       "DIR  sweep result cache directory (default: _cache)");
+      ("-v", Arg.Set verbose,
+       "  verbose: print the sweep's cache/batch execution summary") ]
     (fun a -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" a)))
-    "bench/main.exe [--jobs N] [--json FILE] [--smoke] [--no-micro] [--no-cache] [--cache DIR]"
+    "bench/main.exe [--jobs N] [--json FILE] [--smoke] [--no-micro] [--no-cache] [--cache DIR] [-v]"
 
 (* ---- the sweep grid ---- *)
 
@@ -747,10 +750,35 @@ let run_full () =
     if !no_cache then None
     else Some (Pf_report.Run_cache.create ~dir:!cache_dir ())
   in
-  let runs, prepared = Sweep.execute ~progress ?cache ~jobs:!jobs specs in
+  let stats = ref None in
+  let runs, prepared =
+    Sweep.execute ~progress ?cache ~on_stats:(fun s -> stats := Some s)
+      ~jobs:!jobs specs
+  in
   let sweep_wall = Unix.gettimeofday () -. t_start in
+  (* additive "extras" member: how the sweep was executed (cache hits
+     vs simulations, and how many simulations rode lockstep batches) *)
+  let extras =
+    match !stats with
+    | None -> []
+    | Some s ->
+        [ ( "execution",
+            Pf_report.Json.Obj
+              [ ("cached_runs", Pf_report.Json.Int s.Sweep.cached_runs);
+                ("simulated_runs", Pf_report.Json.Int s.Sweep.simulated_runs);
+                ("batched_runs", Pf_report.Json.Int s.Sweep.batched_runs);
+                ("batch_count", Pf_report.Json.Int s.Sweep.batch_count) ] ) ]
+  in
+  (match !stats with
+  | Some s when !verbose ->
+      Printf.printf
+        "  execution: %d cached, %d simulated (%d of those in %d lockstep \
+         batches)\n%!"
+        s.Sweep.cached_runs s.Sweep.simulated_runs s.Sweep.batched_runs
+        s.Sweep.batch_count
+  | _ -> ());
   let doc =
-    Sweep.document
+    Sweep.document ~extras
       ~tool:
         (Printf.sprintf "bench/main.exe --jobs %d%s" !jobs
            (if !json_out = "" then "" else " --json " ^ !json_out))

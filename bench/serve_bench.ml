@@ -291,6 +291,9 @@ let http_post port path body =
 let run_smoke () =
   requests := 100;
   clients := 4;
+  (* one worker domain: the batched-path section below relies on jobs
+     queueing behind a single busy worker so they drain as one batch *)
+  jobs := 1;
   let failures = ref [] in
   let check name ok =
     Printf.printf "serve-bench %s: %s\n%!" name (if ok then "ok" else "FAIL");
@@ -417,6 +420,85 @@ let run_smoke () =
     && counter "run_requests"
        >= List.length warm + List.length cold + Array.length co_replies
     && counter "malformed_requests" >= 2);
+
+  (* ---- the batched lockstep path ----
+     Hold the single worker on a long blocker request; three same-window
+     cache-miss requests then pile up in the queue and the worker drains
+     them as one lockstep batch (Scheduler max_batch). Their replies
+     must be byte-identical to solo simulations of the same specs. *)
+  let blocker_reply = ref Json.Null in
+  let blocker =
+    Thread.create
+      (fun () ->
+        let bc = connect sock in
+        blocker_reply := rpc bc (run_req ~window:200_000 ("gzip", "superscalar"));
+        close bc)
+      ()
+  in
+  (* wait until the worker has popped the blocker: it is in flight
+     (pending) but no longer queued *)
+  let rec wait_blocker tries =
+    let s = Json.member "stats" (rpc c (Json.Obj [ ("op", Json.String "stats") ])) in
+    if
+      Json.to_int (Json.member "inflight" s) >= 1
+      && Json.to_int (Json.member "queued" s) = 0
+    then true
+    else if tries = 0 then false
+    else begin
+      Unix.sleepf 0.002;
+      wait_blocker (tries - 1)
+    end
+  in
+  check "blocker request picked up" (wait_blocker 2_000);
+  let batch_window = !window + 200 in
+  let batch_mix =
+    [ ("gzip", "superscalar"); ("gzip", "postdoms"); ("gzip", "rec_pred") ]
+  in
+  let batch_replies = Array.make (List.length batch_mix) Json.Null in
+  let batch_threads =
+    List.mapi
+      (fun i spec ->
+        Thread.create
+          (fun () ->
+            let bc = connect sock in
+            batch_replies.(i) <- rpc bc (run_req ~window:batch_window spec);
+            close bc)
+          ())
+      batch_mix
+  in
+  List.iter Thread.join batch_threads;
+  Thread.join blocker;
+  check "batched trio all fresh"
+    (is_ok !blocker_reply
+    && Array.for_all
+         (fun r -> is_ok r && not (is_cached r))
+         batch_replies);
+  let stats_b =
+    Json.member "stats" (rpc c (Json.Obj [ ("op", Json.String "stats") ]))
+  in
+  check "batched runs counted"
+    (Json.to_int
+       (Json.member "batched_runs" (Json.member "counters" stats_b))
+    >= 2);
+  (* byte-identity with the batch path active: same specs simulated
+     solo (fresh, uncached, batching disabled) must produce the same
+     metrics and counters — only wall_s legitimately differs *)
+  let direct_solo, _ =
+    Sweep.execute ~jobs:1 ~batch:1
+      (List.map
+         (fun (w, p) -> Sweep.spec ~window:batch_window w (policy p))
+         batch_mix)
+  in
+  let member name j = Json.to_string (Json.member name j) in
+  check "batched replies byte-identical to solo simulation"
+    (List.for_all2
+       (fun r run ->
+         let reply_run = Json.member "run" r in
+         let direct = Sweep.run_to_json run in
+         member "metrics" reply_run = member "metrics" direct
+         && member "counters" reply_run = member "counters" direct)
+       (Array.to_list batch_replies)
+       direct_solo);
 
   (* the HTTP shim answers the same protocol *)
   let http_port = Option.get (Pf_serve.Server.http_port server) in

@@ -142,7 +142,24 @@ let resolve_config (s : spec) =
   | None, Pf_core.Policy.No_spawn -> Config.superscalar
   | None, _ -> Config.polyflow
 
-let execute ?progress ?cache ~jobs specs =
+type exec_stats = {
+  cached_runs : int;
+  simulated_runs : int;
+  batched_runs : int;
+  batch_count : int;
+}
+
+(* split [l] into consecutive chunks of at most [k] elements *)
+let chunk k l =
+  let rec go acc cur n = function
+    | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+    | x :: rest ->
+        if n = k then go (List.rev cur :: acc) [ x ] 1 rest
+        else go acc (x :: cur) (n + 1) rest
+  in
+  go [] [] 0 l
+
+let execute ?progress ?cache ?(batch = 8) ?on_stats ~jobs specs =
   let specs = Array.of_list specs in
   let workload_of name =
     match Pf_workloads.Suite.find name with
@@ -185,7 +202,88 @@ let execute ?progress ?cache ~jobs specs =
       resolved;
     Array.of_list (List.rev !order)
   in
-  let total = Array.length keys + Array.length specs in
+  (* ---- cache probe (calling domain) ----
+     A hit replays the stored run verbatim (its original [wall_s]
+     included, so a fully-hit sweep reproduces its document byte for
+     byte); the misses left over are what gets simulated. Probing up
+     front — instead of inside the worker items — is what lets the
+     misses be grouped into lockstep batches below; the probe itself is
+     cheap (one small JSON file per spec). *)
+  let nspec = Array.length resolved in
+  let results : run option array = Array.make nspec None in
+  let digest_of = Array.make nspec "" in
+  Array.iteri
+    (fun i ((s : spec), wl, window) ->
+      match cache with
+      | None -> ()
+      | Some c -> (
+          let d =
+            Run_cache.digest ~workload:s.workload ~window
+              ~fast_forward:wl.Pf_workloads.Workload.fast_forward
+              ~policy:(Pf_core.Policy.name s.policy) ~label:s.label
+              ~config:(resolve_config s)
+          in
+          digest_of.(i) <- d;
+          match Run_cache.find c ~digest:d with
+          | None -> ()
+          | Some j -> (
+              (* a corrupt entry must never kill the sweep: any decode
+                 failure downgrades to a miss *)
+              let decoded = try Some (run_of_json j) with _ -> None in
+              match decoded with
+              | Some r when r.workload = s.workload && r.label = s.label ->
+                  results.(i) <- Some r
+              | _ ->
+                  Printf.eprintf
+                    "Run_cache: ignoring %s/%s entry that fails to decode; \
+                     will resimulate\n\
+                     %!"
+                    s.workload s.label)))
+    resolved;
+  let cached_runs =
+    Array.fold_left
+      (fun a -> function Some _ -> a + 1 | None -> a)
+      0 results
+  in
+  (* ---- batch formation ----
+     Cache-miss specs that share a (workload, window) — and therefore a
+     prepared window and its fast-forward — are grouped in first-use
+     order and chunked to at most [batch] members; each group becomes
+     one work item simulated by a single lockstep pass over the shared
+     trace (Run.simulate_batch). Isolated misses stay solo items. *)
+  let batch = max 1 batch in
+  let groups : (string * int, int list ref) Hashtbl.t = Hashtbl.create 16 in
+  let group_order = ref [] in
+  Array.iteri
+    (fun i ((s : spec), _, window) ->
+      if results.(i) = None then begin
+        let key = (s.workload, window) in
+        match Hashtbl.find_opt groups key with
+        | Some l -> l := i :: !l
+        | None ->
+            let l = ref [ i ] in
+            Hashtbl.add groups key l;
+            group_order := key :: !group_order
+      end)
+    resolved;
+  let batches =
+    List.concat_map
+      (fun key -> chunk batch (List.rev !(Hashtbl.find groups key)))
+      (List.rev !group_order)
+    |> List.map Array.of_list
+    |> Array.of_list
+  in
+  let batched_runs =
+    Array.fold_left
+      (fun a b -> if Array.length b >= 2 then a + Array.length b else a)
+      0 batches
+  in
+  let batch_count =
+    Array.fold_left
+      (fun a b -> if Array.length b >= 2 then a + 1 else a)
+      0 batches
+  in
+  let total = Array.length keys + Array.length batches in
   let prepared =
     map_pool ?progress ~jobs ~offset:0 ~total
       (fun (name, wl, window) ->
@@ -201,89 +299,89 @@ let execute ?progress ?cache ~jobs specs =
   Array.iter
     (fun pw -> Hashtbl.replace prep_index (pw.pw_workload, pw.pw_window) pw.prep)
     prepared;
-  let runs =
-    map_pool ?progress ~jobs ~offset:(Array.length keys) ~total
-      (fun ((s : spec), wl, window) ->
-        let config = resolve_config s in
-        let policy_name = Pf_core.Policy.name s.policy in
-        let digest =
-          match cache with
-          | None -> None
-          | Some _ ->
-              Some
-                (Run_cache.digest ~workload:s.workload ~window
-                   ~fast_forward:wl.Pf_workloads.Workload.fast_forward
-                   ~policy:policy_name ~label:s.label ~config)
+  (* one work item per batch: simulate the members in lockstep against
+     the shared prepared window, then store each member's record.
+     [wall_s] of a batch member is its equal share of the batch wall
+     (the per-run cost actually paid); a solo item keeps its own wall. *)
+  let exec_batch idxs =
+    let (s0 : spec), _, window0 = resolved.(idxs.(0)) in
+    let prep = Hashtbl.find prep_index (s0.workload, window0) in
+    let nb = Array.length idxs in
+    let regs = Array.map (fun _ -> Pf_obs.Counters.create ()) idxs in
+    let t0 = Unix.gettimeofday () in
+    let metrics =
+      if nb = 1 then
+        let (s : spec), _, _ = resolved.(idxs.(0)) in
+        [ Run.simulate ~counters:regs.(0) ~config:(resolve_config s) prep
+            ~policy:s.policy ]
+      else
+        Run.simulate_batch prep
+          (List.init nb (fun k ->
+               let (s : spec), _, _ = resolved.(idxs.(k)) in
+               Run.batch_run ~counters:regs.(k) ~config:(resolve_config s)
+                 s.policy))
+    in
+    let wall = (Unix.gettimeofday () -. t0) /. float_of_int nb in
+    List.mapi
+      (fun k m ->
+        let i = idxs.(k) in
+        let (s : spec), _, window = resolved.(i) in
+        let r =
+          { workload = s.workload;
+            label = s.label;
+            policy = Pf_core.Policy.name s.policy;
+            config = resolve_config s;
+            window;
+            instructions = Pf_trace.Tracer.length prep.Run.trace;
+            static_spawns = List.length prep.Run.all_spawns;
+            wall_s = wall;
+            metrics = m;
+            counters = Pf_obs.Counters.to_alist regs.(k) }
         in
-        let cached =
-          match (cache, digest) with
-          | Some c, Some d -> (
-              match Run_cache.find c ~digest:d with
-              | None -> None
-              | Some j -> (
-                  (* a corrupt entry must never kill the sweep: any
-                     decode failure downgrades to a miss *)
-                  let decoded = try Some (run_of_json j) with _ -> None in
-                  match decoded with
-                  | Some r when r.workload = s.workload && r.label = s.label
-                    ->
-                      (* replayed verbatim, original [wall_s] included,
-                         so a fully-hit sweep reproduces its document
-                         byte for byte *)
-                      Some r
-                  | _ ->
-                      Printf.eprintf
-                        "Run_cache: ignoring %s/%s entry that fails to \
-                         decode; will resimulate\n\
-                         %!"
-                        s.workload s.label;
-                      None))
-          | _ -> None
-        in
-        match cached with
-        | Some r -> r
-        | None ->
-            let prep = Hashtbl.find prep_index (s.workload, window) in
-            let reg = Pf_obs.Counters.create () in
-            let t0 = Unix.gettimeofday () in
-            let metrics =
-              Run.simulate ~counters:reg ~config prep ~policy:s.policy
-            in
-            let r =
-              { workload = s.workload;
-                label = s.label;
-                policy = policy_name;
-                config;
-                window;
-                instructions = Pf_trace.Tracer.length prep.Run.trace;
-                static_spawns = List.length prep.Run.all_spawns;
-                wall_s = Unix.gettimeofday () -. t0;
-                metrics;
-                counters = Pf_obs.Counters.to_alist reg }
-            in
-            (match (cache, digest) with
-            | Some c, Some d -> Run_cache.store c ~digest:d (run_to_json r)
-            | _ -> ());
-            r)
-      resolved
+        (match cache with
+        | Some c -> Run_cache.store c ~digest:digest_of.(i) (run_to_json r)
+        | None -> ());
+        (i, r))
+      metrics
   in
-  (Array.to_list runs, Array.to_list prepared)
+  let out =
+    map_pool ?progress ~jobs ~offset:(Array.length keys) ~total exec_batch
+      batches
+  in
+  Array.iter (List.iter (fun (i, r) -> results.(i) <- Some r)) out;
+  (match on_stats with
+  | Some f ->
+      f
+        { cached_runs;
+          simulated_runs = nspec - cached_runs;
+          batched_runs;
+          batch_count }
+  | None -> ());
+  let runs =
+    Array.to_list
+      (Array.map
+         (function Some r -> r | None -> assert false)
+         results)
+  in
+  (runs, Array.to_list prepared)
 
 (* ---- documents ---- *)
 
 type t = {
   manifest : Manifest.t;
   runs : run list;
+  extras : (string * Json.t) list;
 }
 
-let document ~tool ~jobs ~wall_s runs =
-  { manifest = Manifest.create ~tool ~jobs ~wall_s; runs }
+let document ?(extras = []) ~tool ~jobs ~wall_s runs =
+  { manifest = Manifest.create ~tool ~jobs ~wall_s; runs; extras }
 
 let to_json t =
   Json.Obj
-    [ ("schema_version", Json.Int t.manifest.Manifest.schema_version);
-      ("manifest", Manifest.to_json t.manifest);
-      ("runs", Json.List (List.map run_to_json t.runs)) ]
+    ([ ("schema_version", Json.Int t.manifest.Manifest.schema_version);
+       ("manifest", Manifest.to_json t.manifest);
+       ("runs", Json.List (List.map run_to_json t.runs)) ]
+    @ if t.extras = [] then [] else [ ("extras", Json.Obj t.extras) ])
 
 let of_json j =
   let manifest = Manifest.of_json (Json.member "manifest" j) in
@@ -293,7 +391,11 @@ let of_json j =
       (Json.Decode_error
          "schema_version disagrees between document and manifest");
   { manifest;
-    runs = List.map run_of_json (Json.to_list (Json.member "runs" j)) }
+    runs = List.map run_of_json (Json.to_list (Json.member "runs" j));
+    extras =
+      (match Json.member_opt "extras" j with
+      | Some (Json.Obj fields) -> fields
+      | _ -> []) }
 
 let save path t =
   let oc = open_out path in

@@ -78,6 +78,18 @@ type prepared_window = {
   prep : Pf_uarch.Run.prepared;
 }
 
+(** What {!execute} actually did, reported through [?on_stats]:
+    how many runs replayed from the cache, how many were simulated, and
+    of those how many went through lockstep batches (groups of two or
+    more same-window runs driven by one {!Pf_uarch.Run.simulate_batch}
+    trace pass) versus solo simulations. *)
+type exec_stats = {
+  cached_runs : int;     (** replayed verbatim from the {!Run_cache} *)
+  simulated_runs : int;  (** actually simulated (batched + solo) *)
+  batched_runs : int;    (** simulated as members of a batch of >= 2 *)
+  batch_count : int;     (** number of those multi-member batches *)
+}
+
 (** [execute ~jobs specs] runs every spec and returns the runs in spec
     order together with the prepared windows (in first-use order).
     [jobs <= 1] runs inline on the calling domain; higher values spawn
@@ -90,27 +102,51 @@ type prepared_window = {
     only the simulation — windows are still prepared, because the
     returned [prepared_window]s feed follow-on analyses. Invalid
     entries are reported on stderr and resimulated.
+
+    Cache misses sharing a (workload, window) are grouped, in first-use
+    order, into lockstep batches of at most [batch] members (default 8;
+    values [<= 1] disable batching) and each batch is simulated by one
+    pass over the shared flat trace ({!Pf_uarch.Run.simulate_batch}).
+    Batching never changes results — a batch member's metrics and
+    counters are byte-identical to a solo simulation — only [wall_s],
+    which becomes the member's equal share of the batch wall (the
+    per-run cost actually paid). [on_stats] receives the
+    cached/simulated/batched breakdown once, from the calling domain,
+    before [execute] returns.
     @raise Invalid_argument on an unknown workload name or duplicate
     (workload, label) pairs. *)
 val execute :
   ?progress:(done_:int -> total:int -> unit) ->
   ?cache:Run_cache.t ->
+  ?batch:int ->
+  ?on_stats:(exec_stats -> unit) ->
   jobs:int ->
   spec list ->
   run list * prepared_window list
 
 (** {1 Documents} *)
 
-(** A report document: manifest plus runs. This is the payload of every
-    [BENCH_*.json] artifact. *)
+(** A report document: manifest plus runs, plus optional additive
+    extras. This is the payload of every [BENCH_*.json] artifact. *)
 type t = {
   manifest : Manifest.t;
   runs : run list;
+  extras : (string * Json.t) list;
+      (** additive schema-v1 members serialized as an ["extras"] object
+          (omitted when empty, and absent in documents predating it) —
+          e.g. the sweep's {!exec_stats} breakdown under ["execution"].
+          Consumers must ignore keys they don't know. *)
 }
 
 (** Wrap runs produced outside {!execute} (e.g. a single CLI run) in a
     schema-stamped document. *)
-val document : tool:string -> jobs:int -> wall_s:float -> run list -> t
+val document :
+  ?extras:(string * Json.t) list ->
+  tool:string ->
+  jobs:int ->
+  wall_s:float ->
+  run list ->
+  t
 
 val to_json : t -> Json.t
 

@@ -56,6 +56,7 @@ type t = {
   c_run_requests : Counters.counter;
   c_coalesced : Counters.counter;
   c_simulations : Counters.counter;
+  c_batched : Counters.counter;
   c_prep_builds : Counters.counter;
   c_prep_reuses : Counters.counter;
   c_timeouts : Counters.counter;
@@ -179,6 +180,34 @@ let cache_find t (r : resolved) =
   | Some c when not r.r_no_cache -> Run_cache.find c ~digest:r.r_digest
   | _ -> None
 
+(* build the run record from a finished simulation, count it, store it,
+   and return its JSON — common tail of the solo and batched paths *)
+let finish_run t (r : resolved) prep ~wall ~metrics ~reg =
+  let run =
+    { Sweep.workload = r.r_wname;
+      label = r.r_label;
+      policy = r.r_pname;
+      config = r.r_config;
+      window = r.r_window;
+      instructions = Pf_trace.Tracer.length prep.Pf_uarch.Run.trace;
+      static_spawns = List.length prep.Pf_uarch.Run.all_spawns;
+      wall_s = wall;
+      metrics;
+      counters = Counters.to_alist reg }
+  in
+  let run_json = Sweep.run_to_json run in
+  Counters.incr t.c_simulations;
+  (match t.cache with
+  | Some c -> Run_cache.store c ~digest:r.r_digest run_json
+  | None -> ());
+  run_json
+
+let publish t job outcome =
+  Mutex.lock t.mutex;
+  job.j_outcome <- Some outcome;
+  Hashtbl.remove t.pending job.j_digest;
+  Mutex.unlock t.mutex
+
 let execute_job t (r : resolved) =
   (* an identical request may have stored its result while this job sat
      in the queue; serving it preserves byte-identity and skips work *)
@@ -192,24 +221,96 @@ let execute_job t (r : resolved) =
         Pf_uarch.Run.simulate ~counters:reg ~config:r.r_config prep
           ~policy:r.r_policy
       in
-      let run =
-        { Sweep.workload = r.r_wname;
-          label = r.r_label;
-          policy = r.r_pname;
-          config = r.r_config;
-          window = r.r_window;
-          instructions = Pf_trace.Tracer.length prep.Pf_uarch.Run.trace;
-          static_spawns = List.length prep.Pf_uarch.Run.all_spawns;
-          wall_s = Unix.gettimeofday () -. t0;
-          metrics;
-          counters = Counters.to_alist reg }
+      let wall = Unix.gettimeofday () -. t0 in
+      (finish_run t r prep ~wall ~metrics ~reg, false)
+
+(* ---- batched execution ----
+
+   A worker drains every queued job that shares the popped job's
+   (workload, window) — up to [max_batch] — and answers them with one
+   lockstep pass over the shared prepared window
+   ([Run.simulate_batch]), instead of one trace pass per job. Results
+   are byte-identical to solo simulation (the Engine batch contract),
+   so replies and cache entries are unchanged except [wall_s], which
+   becomes the member's equal share of the batch wall. *)
+
+let max_batch = 8
+
+(* called with [t.mutex] held and the queue non-empty *)
+let pop_batch t =
+  let first = Queue.pop t.queue in
+  let key = (first.j_resolved.r_wname, first.j_resolved.r_window) in
+  let mates = ref [] in
+  let nmates = ref 0 in
+  let rest = Queue.create () in
+  Queue.iter
+    (fun job ->
+      if
+        !nmates < max_batch - 1
+        && (job.j_resolved.r_wname, job.j_resolved.r_window) = key
+      then begin
+        mates := job :: !mates;
+        incr nmates
+      end
+      else Queue.push job rest)
+    t.queue;
+  Queue.clear t.queue;
+  Queue.transfer rest t.queue;
+  first :: List.rev !mates
+
+let execute_batch t jobs =
+  (* per-job cache re-check, as in [execute_job]: any member stored by
+     an identical earlier request is answered without simulating *)
+  let misses =
+    List.filter
+      (fun job ->
+        match cache_find t job.j_resolved with
+        | Some run_json ->
+            publish t job (Ok (run_json, true));
+            false
+        | None -> true)
+      jobs
+  in
+  match misses with
+  | [] -> ()
+  | [ job ] ->
+      (* a singleton takes the plain solo path *)
+      let outcome =
+        try Ok (execute_job t job.j_resolved)
+        with e -> Error (Protocol.Internal, Printexc.to_string e)
       in
-      let run_json = Sweep.run_to_json run in
-      Counters.incr t.c_simulations;
-      (match t.cache with
-      | Some c -> Run_cache.store c ~digest:r.r_digest run_json
-      | None -> ());
-      (run_json, false)
+      publish t job outcome
+  | _ -> (
+      let nb = List.length misses in
+      match
+        let prep = acquire_prep t (List.hd misses).j_resolved in
+        let regs = List.map (fun _ -> Counters.create ()) misses in
+        let t0 = Unix.gettimeofday () in
+        let metrics =
+          Pf_uarch.Run.simulate_batch prep
+            (List.map2
+               (fun job reg ->
+                 Pf_uarch.Run.batch_run ~counters:reg
+                   ~config:job.j_resolved.r_config job.j_resolved.r_policy)
+               misses regs)
+        in
+        let wall = (Unix.gettimeofday () -. t0) /. float_of_int nb in
+        (prep, regs, metrics, wall)
+      with
+      | prep, regs, metrics, wall ->
+          List.iter
+            (fun ((job, reg), m) ->
+              Counters.incr t.c_batched;
+              publish t job
+                (Ok (finish_run t job.j_resolved prep ~wall ~metrics:m ~reg, false)))
+            (List.combine (List.combine misses regs) metrics)
+      | exception e ->
+          (* one member failing fails the whole batch (Engine contract);
+             every still-unanswered member learns the same error *)
+          let message = Printexc.to_string e in
+          List.iter
+            (fun job -> publish t job (Error (Protocol.Internal, message)))
+            misses)
 
 let worker_loop t prewarm_windows () =
   List.iter
@@ -223,16 +324,9 @@ let worker_loop t prewarm_windows () =
     if Queue.is_empty t.queue then Mutex.unlock t.mutex
       (* stopping, and the queue is drained *)
     else begin
-      let job = Queue.pop t.queue in
+      let batch = pop_batch t in
       Mutex.unlock t.mutex;
-      let outcome =
-        try Ok (execute_job t job.j_resolved)
-        with e -> Error (Protocol.Internal, Printexc.to_string e)
-      in
-      Mutex.lock t.mutex;
-      job.j_outcome <- Some outcome;
-      Hashtbl.remove t.pending job.j_digest;
-      Mutex.unlock t.mutex;
+      execute_batch t batch;
       loop ()
     end
   in
@@ -247,6 +341,7 @@ let create ?cache ?(prewarm_windows = []) ~jobs ~counters () =
       c_run_requests = Counters.make counters "run_requests";
       c_coalesced = Counters.make counters "coalesced_requests";
       c_simulations = Counters.make counters "simulations";
+      c_batched = Counters.make counters "batched_runs";
       c_prep_builds = Counters.make counters "prep_builds";
       c_prep_reuses = Counters.make counters "prep_reuses";
       c_timeouts = Counters.make counters "request_timeouts";
@@ -360,10 +455,12 @@ let run t ?(default_timeout_ms = 0) (r : Protocol.run_request) =
 let stats_fields t =
   Mutex.lock t.mutex;
   let inflight = Hashtbl.length t.pending in
+  let queued = Queue.length t.queue in
   let prepared = Hashtbl.length t.preps in
   Mutex.unlock t.mutex;
   [ ("jobs", Json.Int t.jobs);
     ("inflight", Json.Int inflight);
+    ("queued", Json.Int queued);
     ("prepared_windows", Json.Int prepared);
     ( "cache",
       match t.cache with

@@ -20,6 +20,14 @@
     publishes its {!Pf_uarch.Run.prepare} result for every later
     request of that window — concurrent first requests build it once.
 
+    A worker popping a job also drains every other queued job for the
+    same (workload, window) — up to 8 — and answers them with one
+    lockstep pass over the shared window
+    ({!Pf_uarch.Run.simulate_batch}) instead of one trace pass each.
+    Batching is invisible in the replies (results are byte-identical
+    to solo simulation; only [wall_s] becomes the member's share of
+    the batch wall) and is counted by the [batched_runs] counter.
+
     A scheduler is safe to call from any number of threads and domains
     concurrently; [polyflow_serve] calls {!run} from one systhread per
     connection. *)
@@ -31,7 +39,9 @@ type t
     [prewarm_windows] pre-allocates each worker's scratch pool for
     those window sizes ({!Pf_uarch.Engine.prewarm_scratch}). The
     registry [counters] receives [run_requests],
-    [coalesced_requests], [simulations], [prep_builds], [prep_reuses]
+    [coalesced_requests], [simulations], [batched_runs] (simulations
+    answered as members of a multi-member lockstep batch),
+    [prep_builds], [prep_reuses]
     and [request_timeouts] (plus the cache's counters if the cache was
     created with the same registry); register service-level counters
     in it before any concurrent use — the registry itself is not
@@ -53,8 +63,11 @@ val create :
     the underlying simulation keeps running and lands in the cache. *)
 val run : t -> ?default_timeout_ms:int -> Protocol.run_request -> Protocol.response
 
-(** Fields for the [stats] reply: worker/in-flight/prepared-window
-    gauges, a cache block (or [Null]), and the full counter registry. *)
+(** Fields for the [stats] reply: worker/in-flight/queued/
+    prepared-window gauges, a cache block (or [Null]), and the full
+    counter registry. [queued] is the number of jobs accepted but not
+    yet popped by a worker ([inflight] also counts jobs being
+    simulated right now). *)
 val stats_fields : t -> (string * Pf_json.Json.t) list
 
 (** Stop accepting work ({!run} then answers [Shutting_down]), let the

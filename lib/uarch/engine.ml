@@ -152,27 +152,52 @@ module Scratch = struct
     Array.fill s.drain_blocker 0 s.n (-1);
     Array.fill s.owner_slot 0 s.n 0
 
-  let pool : t option ref Domain.DLS.key =
-    Domain.DLS.new_key (fun () -> ref None)
+  (* The pool holds up to [max_pooled] scratches so the members of a
+     lockstep batch (which all hold a scratch at once) can each check
+     one back in and find it again on the next batch; the cap bounds a
+     domain's idle footprint after an unusually wide batch. *)
+  let max_pooled = 16
+
+  let pool : t list ref Domain.DLS.key =
+    Domain.DLS.new_key (fun () -> ref [])
 
   let checkout n =
     let r = Domain.DLS.get pool in
-    match !r with
-    | Some s when s.n = n ->
-        r := None;
-        reset s;
-        s
-    | _ -> make n (* fresh arrays are born initialised *)
+    let rec take acc = function
+      | [] -> make n (* fresh arrays are born initialised *)
+      | s :: rest when s.n = n ->
+          r := List.rev_append acc rest;
+          reset s;
+          s
+      | s :: rest -> take (s :: acc) rest
+    in
+    take [] !r
 
-  let checkin s = Domain.DLS.get pool := Some s
+  let checkin s =
+    let r = Domain.DLS.get pool in
+    if List.length !r < max_pooled then r := s :: !r
 end
 
 let prewarm_scratch ~window =
   if window <= 0 then invalid_arg "Engine.prewarm_scratch: window <= 0";
   Scratch.checkin (Scratch.checkout window)
 
-let simulate input =
+(* Sentinel for "not batched": [simulate_core] compares its yield hook
+   against this physically (the same trick as [Sink.is_null]) so a solo
+   simulation pays one dead boolean test per cycle-loop iteration and
+   never calls the hook. *)
+let no_yield : int -> unit = fun _ -> ()
+
+let simulate_core ~yield ~stripe input =
   let cfg = input.config in
+  (* Lockstep batching ([simulate_batch] below). When driven as a batch
+     member, the run hands control back to the batch driver every
+     [stripe] cycles — and immediately after an event-skip jump — by
+     calling [yield] with the current cycle. The hook must never feed
+     back into timing; parity is structural (every mutable below is
+     created per call) and proven by test/test_batch.ml. *)
+  let lockstep = yield != no_yield in
+  let next_yield = ref stripe in
   (* Observability. [observe] is computed once; every hook site below is
      guarded by it, so with the null sink a simulation pays one boolean
      test per site and never enters the per-slot accounting pass. The
@@ -1372,6 +1397,13 @@ let simulate input =
             (Printf.sprintf "Engine: watchdog at cycle %d (retired %d of %d)"
                !now !retire_ptr n)
       end
+    end;
+    (* park this run on the batch driver's wheel at every stripe
+       boundary; a skip that jumped far ahead parks immediately, so the
+       batch-mates catch up before this run steps again *)
+    if lockstep && !now >= !next_yield then begin
+      next_yield := !now + stripe;
+      yield !now
     end
   done;
   (* Metrics.spawns is golden-locked to the fold order of the old
@@ -1438,3 +1470,127 @@ let simulate input =
       (float_of_int !acc_oldest_sched_head /. float_of_int !now);
   Scratch.checkin scratch;
   metrics
+
+let simulate input = simulate_core ~yield:no_yield ~stripe:max_int input
+
+(* ---- lockstep batch driver ----
+
+   [simulate_batch] advances N independent runs of one flattened window
+   in bounded-skew lockstep, so a single pass over the shared trace
+   serves N engines. Each run is the unmodified [simulate_core] running
+   as a fiber under an effect handler: at stripe boundaries (and right
+   after an event-skip jump) the run performs [Yield now] and is
+   parked; the driver always resumes the parked run with the lowest
+   wake cycle (ties to the lowest run index). A run whose next event is
+   far in the future therefore waits on this batch-level wheel while
+   the others catch up, which keeps the batch walking the same region
+   of the window together — the shared read-only arrays stay resident
+   while every member reads them.
+
+   Parity with sequential [simulate] is structural, not incidental:
+   every mutable a run touches (scratch arrays, predictors, cache
+   model, counters, sinks) is created inside its own [simulate_core]
+   call, and the only values shared across members are the read-only
+   flat-trace / occurrence / hint structures, so no interleaving can
+   change any member's timing. test/test_batch.ml proves metrics,
+   retire streams, CPI rows and counters byte-identical to solo runs
+   for shuffled mixed-policy batches at arbitrary stripes. *)
+
+type _ Effect.t += Yield : int -> unit Effect.t
+
+exception Batch_aborted
+
+let default_stripe = 1024
+
+let simulate_batch ?(stripe = default_stripe) inputs =
+  if stripe <= 0 then invalid_arg "Engine.simulate_batch: stripe <= 0";
+  let nb = Array.length inputs in
+  if nb = 0 then [||]
+  else if nb = 1 then [| simulate inputs.(0) |]
+  else begin
+    (* members must really share one window: physical equality is the
+       sharing contract (docs/ENGINE.md), not structural sameness *)
+    let flat0 = inputs.(0).flat in
+    Array.iteri
+      (fun r inp ->
+        if inp.flat != flat0 then
+          invalid_arg
+            (Printf.sprintf
+               "Engine.simulate_batch: input %d does not share the batch's \
+                flat trace (members must come from one prepared window)"
+               r))
+      inputs;
+    let results = Array.make nb None in
+    let parked : (unit, unit) Effect.Deep.continuation option array =
+      Array.make nb None
+    in
+    let wake = Array.make nb 0 in
+    let yield c = Effect.perform (Yield c) in
+    (* run member [r] until its first yield (or to completion) *)
+    let start r =
+      Effect.Deep.match_with
+        (fun () ->
+          results.(r) <- Some (simulate_core ~yield ~stripe inputs.(r)))
+        ()
+        { Effect.Deep.retc = (fun () -> ());
+          exnc = raise;
+          effc =
+            (fun (type a) (eff : a Effect.t) ->
+              match eff with
+              | Yield c ->
+                  Some
+                    (fun (k : (a, unit) Effect.Deep.continuation) ->
+                      parked.(r) <- Some k;
+                      wake.(r) <- c)
+              | _ -> None) }
+    in
+    (* resume order: lowest wake cycle, ties to the lowest member index.
+       A linear scan — batches are small (Run/Sweep cap them). *)
+    let pick () =
+      let best = ref (-1) in
+      for r = 0 to nb - 1 do
+        match parked.(r) with
+        | Some _ -> if !best < 0 || wake.(r) < wake.(!best) then best := r
+        | None -> ()
+      done;
+      !best
+    in
+    let drive () =
+      let running = ref true in
+      while !running do
+        let r = pick () in
+        if r < 0 then running := false
+        else begin
+          let k =
+            match parked.(r) with Some k -> k | None -> assert false
+          in
+          parked.(r) <- None;
+          Effect.Deep.continue k ()
+        end
+      done
+    in
+    (try
+       for r = 0 to nb - 1 do
+         start r
+       done;
+       drive ()
+     with e ->
+       let bt = Printexc.get_raw_backtrace () in
+       (* unwind the still-parked members so the batch fails as a unit;
+          their own (secondary) exceptions are dropped in favour of the
+          first failure *)
+       for r = 0 to nb - 1 do
+         match parked.(r) with
+         | Some k ->
+             parked.(r) <- None;
+             (try Effect.Deep.discontinue k Batch_aborted
+              with _ -> ())
+         | None -> ()
+       done;
+       Printexc.raise_with_backtrace e bt);
+    Array.map
+      (function
+        | Some m -> m
+        | None -> failwith "Engine.simulate_batch: member did not complete")
+      results
+  end

@@ -21,7 +21,10 @@ let prepare program ~setup ~fast_forward ~window =
   let all_spawns = Pf_core.Classify.spawn_points program in
   { program; trace; flat; occurrence; all_spawns }
 
-let simulate ?(sink = Pf_obs.Sink.null) ?counters ?config prepared ~policy =
+(* build one engine input against the shared prepared window; [simulate]
+   and [simulate_batch] go through the same resolution so a batch member
+   is indistinguishable from a solo run *)
+let to_input ~sink ~counters ~config prepared ~policy =
   let config =
     match (config, policy) with
     | Some c, _ -> c
@@ -29,15 +32,39 @@ let simulate ?(sink = Pf_obs.Sink.null) ?counters ?config prepared ~policy =
     | None, _ -> Config.polyflow
   in
   let selected = Pf_core.Policy.select policy prepared.all_spawns in
-  Engine.simulate
-    { Engine.config;
-      trace = prepared.trace;
-      flat = prepared.flat;
-      occurrence = prepared.occurrence;
-      hints = Pf_core.Hint_cache.of_spawns selected;
-      use_rec_pred = Pf_core.Policy.uses_reconvergence_predictor policy;
-      use_dmt = Pf_core.Policy.uses_dmt_heuristics policy;
-      sink;
-      counters }
+  { Engine.config;
+    trace = prepared.trace;
+    flat = prepared.flat;
+    occurrence = prepared.occurrence;
+    hints = Pf_core.Hint_cache.of_spawns selected;
+    use_rec_pred = Pf_core.Policy.uses_reconvergence_predictor policy;
+    use_dmt = Pf_core.Policy.uses_dmt_heuristics policy;
+    sink;
+    counters }
+
+let simulate ?(sink = Pf_obs.Sink.null) ?counters ?config prepared ~policy =
+  Engine.simulate (to_input ~sink ~counters ~config prepared ~policy)
+
+type batch_run = {
+  br_policy : Pf_core.Policy.t;
+  br_config : Config.t option;
+  br_sink : Pf_obs.Sink.t;
+  br_counters : Pf_obs.Counters.t option;
+}
+
+let batch_run ?(sink = Pf_obs.Sink.null) ?counters ?config policy =
+  { br_policy = policy;
+    br_config = config;
+    br_sink = sink;
+    br_counters = counters }
+
+let simulate_batch ?stripe prepared runs =
+  runs
+  |> List.map (fun b ->
+         to_input ~sink:b.br_sink ~counters:b.br_counters ~config:b.br_config
+           prepared ~policy:b.br_policy)
+  |> Array.of_list
+  |> Engine.simulate_batch ?stripe
+  |> Array.to_list
 
 let baseline prepared = simulate prepared ~policy:Pf_core.Policy.No_spawn

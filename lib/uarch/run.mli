@@ -40,5 +40,34 @@ val simulate :
   policy:Pf_core.Policy.t ->
   Metrics.t
 
+(** One member of a lockstep batch: a policy with the same optional
+    overrides {!simulate} takes. Build with {!batch_run}. *)
+type batch_run = {
+  br_policy : Pf_core.Policy.t;
+  br_config : Config.t option;
+  br_sink : Pf_obs.Sink.t;
+  br_counters : Pf_obs.Counters.t option;
+}
+
+(** [batch_run policy] with the same defaults as {!simulate}:
+    [config] falls back to the policy default, [sink] to
+    {!Pf_obs.Sink.null}. *)
+val batch_run :
+  ?sink:Pf_obs.Sink.t ->
+  ?counters:Pf_obs.Counters.t ->
+  ?config:Config.t ->
+  Pf_core.Policy.t ->
+  batch_run
+
+(** Simulate several policies against one prepared window in lockstep
+    — one pass over the shared flat trace drives every member
+    ({!Engine.simulate_batch}; [stripe] is the lockstep wave length in
+    cycles). Results come back in member order and are byte-identical
+    to calling {!simulate} once per member: metrics, sink event
+    streams and counter registries all match the sequential runs
+    exactly (test/test_batch.ml). *)
+val simulate_batch :
+  ?stripe:int -> prepared -> batch_run list -> Metrics.t list
+
 (** Superscalar baseline ([Policy.No_spawn] on {!Config.superscalar}). *)
 val baseline : prepared -> Metrics.t

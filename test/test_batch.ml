@@ -1,0 +1,248 @@
+(* Batch parity: [Run.simulate_batch] drives N policy/config members of
+   the same prepared window through one lockstep pass over the shared
+   flat trace. Interleaving must be invisible — against per-member
+   [Run.simulate] reference runs, the batch must produce bit-identical
+
+     - metrics (every field, cycles included),
+     - the full retire stream, with per-retire cycle and slot,
+     - the CPI-stack rows (cycle accounting per slot and reason), and
+     - the named counter registry,
+
+   for every policy class, in any member order, at any [stripe]
+   (including 1, the maximally-interleaved worst case). The property
+   runs over the pf_fuzz program generators (fresh control flow every
+   seed) and over a real workload window. *)
+
+open Pf_uarch
+module Policy = Pf_core.Policy
+module Sink = Pf_obs.Sink
+module Cpi_stack = Pf_obs.Cpi_stack
+module Counters = Pf_obs.Counters
+
+let window = 2_500
+let max_instrs = 6_000_000
+let all_policies = Pf_fuzz.Oracle.all_policies
+
+(* [Run.simulate]'s per-policy default, made explicit so the solo
+   reference and the batch member share one base configuration. *)
+let base_config = function
+  | Policy.No_spawn -> Config.superscalar
+  | _ -> Config.polyflow
+
+type observed = {
+  metrics : Metrics.t;
+  retires : string;  (* "cycle:slot:index;" per retirement, in order *)
+  cpi_rows : int array array;
+  counters : (string * int) list;
+}
+
+(* The observability harness of one run: a retire-stream buffer, a CPI
+   stack and a counter registry, assembled into a [batch_run] and read
+   back once its metrics are in. *)
+let instrument ~config policy =
+  let retires = Buffer.create 1024 in
+  let cpi = Cpi_stack.create () in
+  let counters = Counters.create () in
+  let sink =
+    Sink.tee (Cpi_stack.sink cpi)
+      { Sink.null with
+        on_retire =
+          (fun ~cycle ~slot ~index ->
+            Buffer.add_string retires
+              (Printf.sprintf "%d:%d:%d;" cycle slot index)) }
+  in
+  let br = Run.batch_run ~sink ~counters ~config policy in
+  let read metrics =
+    { metrics;
+      retires = Buffer.contents retires;
+      cpi_rows = Array.init (Cpi_stack.slots cpi) (Cpi_stack.row cpi);
+      counters = Counters.to_alist counters }
+  in
+  (br, read)
+
+let observe_solo prep ~policy ~config =
+  let br, read = instrument ~config policy in
+  read (Run.simulate ~sink:br.Run.br_sink ~counters:(Option.get br.Run.br_counters)
+          ~config prep ~policy)
+
+let observe_batch ?stripe prep members =
+  let instrumented =
+    List.map (fun (policy, config) -> instrument ~config policy) members
+  in
+  let metrics =
+    Run.simulate_batch ?stripe prep (List.map fst instrumented)
+  in
+  List.map2 (fun (_, read) m -> read m) instrumented metrics
+
+(* Deterministic member shuffle — a tiny LCG keyed by [seed], so a
+   failing seed replays the exact member order. *)
+let shuffle seed l =
+  let state = ref (seed * 2654435761 land 0x3FFFFFFF) in
+  let next n =
+    state := (!state * 1103515245 + 12345) land 0x3FFFFFFF;
+    !state mod n
+  in
+  let a = Array.of_list l in
+  for i = Array.length a - 1 downto 1 do
+    let j = next (i + 1) in
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  done;
+  Array.to_list a
+
+(* Every policy class plus a duplicated member (two Postdoms runs in one
+   batch must both match the solo run), shuffled by seed. *)
+let members_for seed =
+  shuffle seed
+    (List.map (fun p -> (p, base_config p)) (Policy.Postdoms :: all_policies))
+
+(* stripe=1 forces a park at every cycle; the others exercise mid-range
+   waves and the one-wave degenerate case. *)
+let stripe_for seed = [| 1; 7; 128; 1024; max_int |].(seed mod 5)
+
+let compare_members prep ~stripe ~members ~(fail : int -> string -> 'a) =
+  let batch = observe_batch ~stripe prep members in
+  List.iteri
+    (fun i ((policy, config), b) ->
+      let solo = observe_solo prep ~policy ~config in
+      if b.metrics <> solo.metrics then fail i "metrics";
+      if b.retires <> solo.retires then fail i "retire stream";
+      if b.cpi_rows <> solo.cpi_rows then fail i "CPI rows";
+      if b.counters <> solo.counters then fail i "counters")
+    (List.combine members batch)
+
+(* ------------------------------------------------------------------ *)
+(* qcheck over the fuzz generators                                     *)
+
+let prepare_program program =
+  (* cap the window at the program's dynamic length, as the oracle does *)
+  let m = Pf_isa.Machine.create program in
+  let (_ : int) = Pf_isa.Machine.run m ~max_instrs ~on_event:ignore in
+  Run.prepare program
+    ~setup:(fun _ -> ())
+    ~fast_forward:0
+    ~window:(min window (Pf_isa.Machine.icount m))
+
+let holds_for ~gen ~seed =
+  let program =
+    match gen with
+    | `Mini ->
+        (Pf_fuzz.Gen_mini.generate ~seed |> Pf_mini.Compile.compile)
+          .Pf_mini.Compile.program
+    | `Asm -> Pf_fuzz.Gen_asm.generate ~seed
+  in
+  let prep = prepare_program program in
+  let stripe = stripe_for seed in
+  let members = members_for seed in
+  compare_members prep ~stripe ~members ~fail:(fun i what ->
+      let policy, _ = List.nth members i in
+      QCheck.Test.fail_reportf
+        "seed %d, stripe %d, member %d (%s): %s differ between \
+         simulate_batch and sequential simulate"
+        seed stripe i (Policy.name policy) what);
+  true
+
+let prop_mini =
+  QCheck.Test.make ~name:"lockstep batching is invisible on mini programs"
+    ~count:5
+    QCheck.(int_range 1 100_000)
+    (fun seed -> holds_for ~gen:`Mini ~seed)
+
+let prop_asm =
+  QCheck.Test.make ~name:"lockstep batching is invisible on asm programs"
+    ~count:5
+    QCheck.(int_range 1 100_000)
+    (fun seed -> holds_for ~gen:`Asm ~seed)
+
+(* ------------------------------------------------------------------ *)
+(* A real workload window, every policy class in one batch             *)
+
+let test_workload name () =
+  let wl = Option.get (Pf_workloads.Suite.find name) in
+  let prep =
+    Run.prepare wl.Pf_workloads.Workload.program
+      ~setup:wl.Pf_workloads.Workload.setup
+      ~fast_forward:wl.Pf_workloads.Workload.fast_forward ~window:4_000
+  in
+  List.iter
+    (fun stripe ->
+      let members = members_for (stripe + 1) in
+      compare_members prep ~stripe ~members ~fail:(fun i what ->
+          let policy, _ = List.nth members i in
+          Alcotest.failf
+            "%s, stripe %d, member %d (%s): %s differ between \
+             simulate_batch and sequential simulate"
+            name stripe i (Policy.name policy) what))
+    [ 1; 1024 ]
+
+(* ------------------------------------------------------------------ *)
+(* API contract edges                                                  *)
+
+let test_degenerate () =
+  let wl = Option.get (Pf_workloads.Suite.find "gzip") in
+  let prep =
+    Run.prepare wl.Pf_workloads.Workload.program
+      ~setup:wl.Pf_workloads.Workload.setup
+      ~fast_forward:wl.Pf_workloads.Workload.fast_forward ~window:2_000
+  in
+  (* the empty batch *)
+  Alcotest.(check int)
+    "empty batch" 0
+    (List.length (Run.simulate_batch prep []));
+  (* a singleton batch degenerates to the solo path *)
+  let solo = Run.simulate prep ~policy:Policy.Postdoms in
+  (match Run.simulate_batch prep [ Run.batch_run Policy.Postdoms ] with
+  | [ m ] ->
+      if m <> solo then Alcotest.fail "singleton batch differs from solo"
+  | _ -> Alcotest.fail "singleton batch arity");
+  (* stripe must be positive *)
+  (match
+     Run.simulate_batch ~stripe:0 prep
+       [ Run.batch_run Policy.Postdoms; Run.batch_run Policy.No_spawn ]
+   with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "stripe 0 accepted");
+  (* members must share one flat trace (the Run.prepare sharing
+     contract, enforced by physical equality) *)
+  let other =
+    Run.prepare wl.Pf_workloads.Workload.program
+      ~setup:wl.Pf_workloads.Workload.setup
+      ~fast_forward:wl.Pf_workloads.Workload.fast_forward ~window:2_000
+  in
+  match
+    Engine.simulate_batch
+      [| { Engine.config = Config.polyflow;
+           trace = prep.Run.trace;
+           flat = prep.Run.flat;
+           occurrence = prep.Run.occurrence;
+           hints =
+             Pf_core.Hint_cache.of_spawns
+               (Pf_core.Policy.select Policy.Postdoms prep.Run.all_spawns);
+           use_rec_pred = false;
+           use_dmt = false;
+           sink = Sink.null;
+           counters = None };
+         { Engine.config = Config.polyflow;
+           trace = other.Run.trace;
+           flat = other.Run.flat;
+           occurrence = other.Run.occurrence;
+           hints =
+             Pf_core.Hint_cache.of_spawns
+               (Pf_core.Policy.select Policy.Postdoms other.Run.all_spawns);
+           use_rec_pred = false;
+           use_dmt = false;
+           sink = Sink.null;
+           counters = None } |]
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "mixed flat traces accepted"
+
+let suite =
+  [ ( "batch-parity",
+      [ Prop.to_alcotest prop_mini;
+        Prop.to_alcotest prop_asm;
+        Alcotest.test_case "gzip window, all policy classes" `Quick
+          (test_workload "gzip");
+        Alcotest.test_case "degenerate batches and contract errors" `Quick
+          test_degenerate ] ) ]
