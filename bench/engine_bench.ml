@@ -77,6 +77,11 @@ type workload_row = {
   prepare_s : float;
   flatten_s : float;
   sims : sim_row list;
+  (* the adaptive policy (memory tracker + safety filter) timed apart
+     from [sims]: its throughput is recorded in the artifact but kept
+     out of the gated engine_minstr_per_s aggregate, so the CI perf
+     gate's baseline keeps its meaning across the subsystem's arrival *)
+  adaptive_sim : sim_row;
 }
 
 let measure_workload ~window_override (wl : Pf_workloads.Workload.t) =
@@ -97,26 +102,26 @@ let measure_workload ~window_override (wl : Pf_workloads.Workload.t) =
   let _, flatten_s =
     time (fun () -> Pf_trace.Flat_trace.of_trace prep.Run.trace)
   in
-  let sims =
-    List.map
-      (fun policy ->
-        let g0 = Gc.quick_stat () in
-        let metrics, sim_s = time (fun () -> Run.simulate prep ~policy) in
-        let g1 = Gc.quick_stat () in
-        { label = Pf_core.Policy.name policy;
-          sim_s;
-          metrics;
-          minor_words = g1.Gc.minor_words -. g0.Gc.minor_words;
-          promoted_words = g1.Gc.promoted_words -. g0.Gc.promoted_words;
-          major_words = g1.Gc.major_words -. g0.Gc.major_words })
-      phase_policies
+  let measure_sim policy =
+    let g0 = Gc.quick_stat () in
+    let metrics, sim_s = time (fun () -> Run.simulate prep ~policy) in
+    let g1 = Gc.quick_stat () in
+    { label = Pf_core.Policy.name policy;
+      sim_s;
+      metrics;
+      minor_words = g1.Gc.minor_words -. g0.Gc.minor_words;
+      promoted_words = g1.Gc.promoted_words -. g0.Gc.promoted_words;
+      major_words = g1.Gc.major_words -. g0.Gc.major_words }
   in
+  let sims = List.map measure_sim phase_policies in
+  let adaptive_sim = measure_sim Pf_core.Policy.Adaptive in
   { workload = wl.Pf_workloads.Workload.name;
     window;
     instructions = Pf_trace.Tracer.length prep.Run.trace;
     prepare_s;
     flatten_s;
-    sims }
+    sims;
+    adaptive_sim }
 
 (* ---- batched vs sequential cold sweeps ----
 
@@ -223,7 +228,7 @@ let grid_specs ~window_override () =
     let all =
       Pf_core.Policy.(
         (No_spawn :: figure9_policies) @ figure10_policies @ figure11_policies
-        @ figure12_policies @ [ Dmt ])
+        @ figure12_policies @ [ Dmt; Adaptive ])
     in
     let seen = Hashtbl.create 16 in
     List.filter
@@ -272,7 +277,8 @@ let workload_to_json w =
       ("shared_wall_s", Json.Float (shared_wall w));
       ("unshared_wall_s", Json.Float (unshared_wall w));
       ("flatten_sharing_speedup", Json.Float (unshared_wall w /. shared_wall w));
-      ("simulate", Json.List (List.map sim_to_json w.sims)) ]
+      ("simulate", Json.List (List.map sim_to_json w.sims));
+      ("adaptive", sim_to_json w.adaptive_sim) ]
 
 let batch_row_to_json b =
   Json.Obj
@@ -327,6 +333,16 @@ let document ~tool ~wall_s ~rows ~batched ~grid =
           Json.Float (sum unshared_wall /. sum shared_wall) );
         ( "engine_minstr_per_s",
           Json.Float (float_of_int instrs /. sim_s /. 1e6) );
+        (* recorded but not gated: the adaptive policy's throughput,
+           tracked so tracker-cost regressions are visible in history
+           without widening the perf gate *)
+        ( "adaptive_minstr_per_s",
+          Json.Float
+            (let instrs =
+               List.fold_left (fun a w -> a + w.instructions) 0 rows
+             in
+             let s = sum (fun w -> w.adaptive_sim.sim_s) in
+             float_of_int instrs /. s /. 1e6) );
         ("batched_minstr_per_s", Json.Float batched_minstr);
         ("batch_speedup_4", Json.Float speedup_4);
         ( "allocated_words_per_instr",
@@ -392,6 +408,7 @@ let with_history path doc =
         ("tool", sub "manifest" "tool");
         ("timing_version", Json.String Engine.timing_version);
         ("engine_minstr_per_s", sub "totals" "engine_minstr_per_s");
+        ("adaptive_minstr_per_s", sub "totals" "adaptive_minstr_per_s");
         ("batched_minstr_per_s", sub "totals" "batched_minstr_per_s");
         ("batch_speedup_4", sub "totals" "batch_speedup_4");
         ("allocated_words_per_instr", sub "totals" "allocated_words_per_instr")
@@ -424,6 +441,12 @@ let run_smoke () =
          && List.length w.sims = List.length phase_policies)
        rows);
   check "windows captured" (List.for_all (fun w -> w.instructions = 2_000) rows);
+  (* the adaptive policy (tracker + safety filter) must complete its
+     window; its throughput lands in the artifact ungated *)
+  check "adaptive policy simulated"
+    (List.for_all
+       (fun w -> w.adaptive_sim.metrics.Metrics.instructions = w.instructions)
+       rows);
   (* parity: repeating a simulation against the same shared prepared
      window must be byte-identical (the engine keeps no cross-run state) *)
   let wl = Option.get (Pf_workloads.Suite.find "gzip") in
@@ -471,7 +494,9 @@ let run_smoke () =
     (Json.to_int (Json.member "schema_version" reparsed)
      = Pf_report.Manifest.schema_version
     && List.length (Json.to_list (Json.member "workloads" reparsed)) = 2
-    && List.length (Json.to_list (Json.member "batched" reparsed)) = 1);
+    && List.length (Json.to_list (Json.member "batched" reparsed)) = 1
+    && Json.member_opt "adaptive_minstr_per_s" (Json.member "totals" reparsed)
+       <> None);
   (* the steady-state loop must stay allocation-free.  Measured over a
      window long enough to amortize per-simulate setup (predictor
      tables, the O(n) prepared arrays): the budget below leaves ~10

@@ -86,7 +86,7 @@ let grid_policies =
   let all =
     Pf_core.Policy.(
       (No_spawn :: figure9_policies) @ figure10_policies @ figure11_policies
-      @ figure12_policies @ [ Dmt ])
+      @ figure12_policies @ [ Dmt; Adaptive ])
   in
   let seen = Hashtbl.create 16 in
   List.filter
@@ -614,7 +614,8 @@ let smoke_specs =
   List.concat_map
     (fun w ->
       [ Sweep.spec w Pf_core.Policy.No_spawn ~window:4_000;
-        Sweep.spec w Pf_core.Policy.Postdoms ~window:4_000 ])
+        Sweep.spec w Pf_core.Policy.Postdoms ~window:4_000;
+        Sweep.spec w Pf_core.Policy.Adaptive ~window:4_000 ])
     [ "gzip"; "mcf" ]
 
 let metrics_fingerprint (runs : Sweep.run list) =
@@ -629,7 +630,7 @@ let run_smoke () =
     Printf.printf "%s: %s\n" name (if ok then "ok" else "FAIL " ^ detail);
     ok
   in
-  Printf.printf "smoke sweep: 2 workloads x 2 policies, window 4000\n";
+  Printf.printf "smoke sweep: 2 workloads x 3 policies, window 4000\n";
   let t0 = Unix.gettimeofday () in
   let runs, _ = Sweep.execute ~jobs:4 smoke_specs in
   let doc =

@@ -70,6 +70,7 @@ let run_cmd workload_name policy_str all_policies window json_out cpi_stack
         let config =
           match policy with
           | Pf_core.Policy.No_spawn -> Pf_uarch.Config.superscalar
+          | Pf_core.Policy.Adaptive -> Pf_uarch.Config.adaptive
           | _ -> Pf_uarch.Config.polyflow
         in
         (* observability: attach only the sinks asked for, so a plain
@@ -104,6 +105,22 @@ let run_cmd workload_name policy_str all_policies window json_out cpi_stack
             counters = Pf_obs.Counters.to_alist counters }
           :: !records;
         print_run ~verbose name policy base m;
+        if verbose && Pf_core.Policy.uses_safety_filter policy then begin
+          (* the tracker's story lives in the counter registry, not in
+             Metrics: violation rate per 10k retired instructions plus
+             the safety filter's per-spawn level decisions *)
+          let c n = Option.value ~default:0 (Pf_obs.Counters.find counters n) in
+          Format.printf
+            "mem tracker       violations %d (%.2f per 10k instrs), syncs %d@.\
+             safety levels     bypass %d, conservative %d, optimistic %d@."
+            (c "mem_violations")
+            (float_of_int (c "mem_violations")
+            *. 10_000.
+            /. float_of_int (max 1 m.Pf_uarch.Metrics.instructions))
+            (c "mem_syncs") (c "level_bypass")
+            (c "level_conservative")
+            (c "level_optimistic")
+        end;
         (match cpi with
         | Some c ->
             Format.printf "@[<v>CPI stack, %s / %s (cycles per task slot):@,%a@]@."
@@ -138,7 +155,8 @@ let run_cmd workload_name policy_str all_policies window json_out cpi_stack
         if all_policies then begin
           let policies =
             Pf_core.Policy.figure9_policies
-            @ [ Pf_core.Policy.Rec_pred; Pf_core.Policy.Dmt ]
+            @ [ Pf_core.Policy.Rec_pred; Pf_core.Policy.Dmt;
+                Pf_core.Policy.Adaptive ]
             @ List.filter
                 (fun p -> p <> Pf_core.Policy.Postdoms)
                 Pf_core.Policy.figure10_policies
@@ -370,7 +388,8 @@ let run_c =
       & info [ "p"; "policy" ] ~docv:"POLICY"
           ~doc:
             "Spawn policy: superscalar, loop, loopFT, procFT, hammock, other, \
-             postdoms, rec_pred, dmt, postdoms-<category>, or a + combination.")
+             postdoms, rec_pred, dmt, adaptive, postdoms-<category>, or a + \
+             combination.")
   in
   let all_policies_t =
     Arg.(

@@ -5,6 +5,7 @@ type t =
   | Postdoms_minus of Spawn_point.category
   | Rec_pred
   | Dmt
+  | Adaptive
 
 let select policy spawns =
   let keep categories =
@@ -17,14 +18,25 @@ let select policy spawns =
   | Postdoms_minus c ->
       keep (List.filter (fun c' -> c' <> c) Spawn_point.postdom_categories)
   | Rec_pred | Dmt -> []
+  (* every static spawn point, loop-iteration spawns included: the
+     safety filter decides per region how far to trust each one *)
+  | Adaptive -> spawns
 
 let uses_reconvergence_predictor = function
   | Rec_pred -> true
-  | No_spawn | Categories _ | Postdoms | Postdoms_minus _ | Dmt -> false
+  | No_spawn | Categories _ | Postdoms | Postdoms_minus _ | Dmt | Adaptive ->
+      false
 
 let uses_dmt_heuristics = function
   | Dmt -> true
-  | No_spawn | Categories _ | Postdoms | Postdoms_minus _ | Rec_pred -> false
+  | No_spawn | Categories _ | Postdoms | Postdoms_minus _ | Rec_pred
+  | Adaptive ->
+      false
+
+let uses_safety_filter = function
+  | Adaptive -> true
+  | No_spawn | Categories _ | Postdoms | Postdoms_minus _ | Rec_pred | Dmt ->
+      false
 
 let name = function
   | No_spawn -> "superscalar"
@@ -34,6 +46,7 @@ let name = function
   | Postdoms_minus c -> "postdoms-" ^ Spawn_point.category_name c
   | Rec_pred -> "rec_pred"
   | Dmt -> "dmt"
+  | Adaptive -> "adaptive"
 
 let of_string s =
   let cat = Spawn_point.category_of_name in
@@ -42,6 +55,7 @@ let of_string s =
   | "postdoms" -> Ok Postdoms
   | "rec_pred" -> Ok Rec_pred
   | "dmt" -> Ok Dmt
+  | "adaptive" -> Ok Adaptive
   | _ when String.length s > 9 && String.sub s 0 9 = "postdoms-" -> (
       match cat (String.sub s 9 (String.length s - 9)) with
       | Some c -> Ok (Postdoms_minus c)
@@ -54,8 +68,8 @@ let of_string s =
         Error
           (Printf.sprintf
              "unknown policy %S (try: superscalar, loop, loopFT, procFT, \
-              hammock, other, postdoms, rec_pred, dmt, postdoms-<cat>, or \
-              combinations like loop+loopFT)"
+              hammock, other, postdoms, rec_pred, dmt, adaptive, \
+              postdoms-<cat>, or combinations like loop+loopFT)"
              s))
 
 let figure9_policies =

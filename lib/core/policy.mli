@@ -16,7 +16,12 @@
       Driscoll discussed in the paper's related work (Section 5): spawn
       at the static address following each backward branch (an
       approximate loop fall-through) and at the return address of each
-      call — no compiler information, no reconvergence prediction. *)
+      call — no compiler information, no reconvergence prediction.
+    - [Adaptive]: three-level adaptive speculation. Every static spawn
+      point is a candidate, but each one is classified by the
+      {!Safety_filter} (bypass / conservative / optimistic) and the
+      engine runs the optimistic regions under a modelled
+      memory-dependence violation tracker. *)
 
 type t =
   | No_spawn
@@ -25,6 +30,7 @@ type t =
   | Postdoms_minus of Spawn_point.category
   | Rec_pred
   | Dmt
+  | Adaptive
 
 (** Static spawn points enabled by the policy. *)
 val select : t -> Spawn_point.t list -> Spawn_point.t list
@@ -35,11 +41,15 @@ val uses_reconvergence_predictor : t -> bool
 (** Does the policy use the DMT fall-through heuristics? *)
 val uses_dmt_heuristics : t -> bool
 
+(** Does the policy classify spawn regions through the
+    {!Safety_filter}? *)
+val uses_safety_filter : t -> bool
+
 (** Short display name, e.g. ["postdoms"], ["loop+loopFT"]. *)
 val name : t -> string
 
 (** Parse a {!name}-style policy string: ["superscalar"] (or
-    ["baseline"]), ["postdoms"], ["rec_pred"], ["dmt"],
+    ["baseline"]), ["postdoms"], ["rec_pred"], ["dmt"], ["adaptive"],
     ["postdoms-<category>"], a category name, or a [+]-joined category
     combination. [Error] carries a usage message listing the accepted
     forms. *)

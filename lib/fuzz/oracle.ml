@@ -19,7 +19,8 @@ let all_policies =
     Policy.Postdoms_minus Spawn_point.Hammock;
     Policy.Categories [ Spawn_point.Loop_iter; Spawn_point.Proc_ft ];
     Policy.Rec_pred;
-    Policy.Dmt ]
+    Policy.Dmt;
+    Policy.Adaptive ]
 
 let max_instrs = 6_000_000
 let interp_fuel = 20_000_000
@@ -109,6 +110,55 @@ let check_one_policy prep ~n ~policy =
                      name v metric })
       | _ -> ())
     (counter_fields m);
+  (* memory-tracker oracles. For every fixed-level policy the tracker
+     and safety filter must stay inert: their counters all zero. For
+     [Adaptive] the CPI stack must still sum exactly to run cycles with
+     the [mem_violation] row included (the obs-cpi-sum check above
+     already walked every row), every violation must have produced a
+     squash, and a PF_CHECK'd re-run must reproduce the same metrics
+     while the engine self-check validates the CAM's live counts and
+     that freed task slots hold no stale entries after each squash. *)
+  let counter name = Option.value ~default:0 (Counters.find counters name) in
+  if not (Policy.uses_safety_filter policy) then
+    List.iter
+      (fun name ->
+        if counter name <> 0 then
+          raise
+            (Stop
+               { oracle = "mem-tracker-isolation";
+                 detail =
+                   Printf.sprintf
+                     "policy %s: counter %s = %d but the policy runs at a \
+                      fixed speculation level"
+                     pname name (counter name) }))
+      [ "mem_violations"; "level_bypass"; "level_conservative";
+        "level_optimistic" ]
+  else begin
+    if counter "mem_violations" > m.Metrics.squashes then
+      raise
+        (Stop
+           { oracle = "mem-tracker-squash";
+             detail =
+               Printf.sprintf
+                 "policy %s: %d memory violations but only %d squashes" pname
+                 (counter "mem_violations") m.Metrics.squashes });
+    let old = Sys.getenv_opt "PF_CHECK" in
+    Unix.putenv "PF_CHECK" "1";
+    let m_checked =
+      Fun.protect
+        ~finally:(fun () ->
+          Unix.putenv "PF_CHECK" (Option.value old ~default:""))
+        (fun () -> Run.simulate prep ~policy)
+    in
+    if m <> m_checked then
+      raise
+        (Stop
+           { oracle = "mem-tracker-check";
+             detail =
+               Printf.sprintf
+                 "policy %s: metrics differ under PF_CHECK (cycles %d vs %d)"
+                 pname m.Metrics.cycles m_checked.Metrics.cycles })
+  end;
   (* a second, sink-less run: proves determinism and that observability
      never feeds back into timing *)
   let counters2 = Counters.create () in

@@ -58,7 +58,7 @@ let aggregate t =
    table. Kept in reason-code order. *)
 let short_names =
   [| "base"; "icache"; "br_mp"; "divert"; "memory"; "squash"; "spawn";
-     "idle" |]
+     "idle"; "mem_viol" |]
 
 let short_name r =
   if r < 0 || r >= Sink.n_reasons then

@@ -9,11 +9,12 @@ let r_memory = 4
 let r_squash_recovery = 5
 let r_spawn_overhead = 6
 let r_idle = 7
-let n_reasons = 8
+let r_mem_violation = 8
+let n_reasons = 9
 
 let reason_names =
   [| "base"; "icache"; "branch_mispredict"; "divert_wait"; "memory";
-     "squash_recovery"; "spawn_overhead"; "idle" |]
+     "squash_recovery"; "spawn_overhead"; "idle"; "mem_violation" |]
 
 let reason_name r =
   if r < 0 || r >= n_reasons then

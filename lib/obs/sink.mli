@@ -60,6 +60,11 @@ val r_idle : int
 (** No live task in the slot, or the task has fetched and completed its
     whole region and waits to become oldest. *)
 
+val r_mem_violation : int
+(** Refilling after a cross-task memory-dependence violation detected
+    by the modelled load/store tracker (an [Adaptive]-policy squash;
+    control-dependence squashes stay on {!r_squash_recovery}). *)
+
 val n_reasons : int
 (** Number of reason codes; valid codes are [0 .. n_reasons-1]. *)
 

@@ -86,8 +86,34 @@ let cpi_stack_of_json j =
 (* ---- config ---- *)
 
 let config_to_json (c : Config.t) =
+  (* additive schema-v1 fields (memory-dependence tracker PR): emitted
+     only when they differ from their defaults, so every document — and
+     every run-cache digest — produced before the fields existed stays
+     byte-identical *)
+  let d = Config.superscalar in
+  let tracker_fields =
+    List.concat
+      [ (if c.Config.mem_tracker <> d.Config.mem_tracker then
+           [ ("mem_tracker", Json.Bool c.Config.mem_tracker) ]
+         else []);
+        (if c.Config.tracker_entries <> d.Config.tracker_entries then
+           [ ("tracker_entries", Json.Int c.Config.tracker_entries) ]
+         else []);
+        (if c.Config.mem_sync_threshold <> d.Config.mem_sync_threshold then
+           [ ("mem_sync_threshold", Json.Int c.Config.mem_sync_threshold) ]
+         else []);
+        (if c.Config.safety_store_pct <> d.Config.safety_store_pct then
+           [ ("safety_store_pct", Json.Int c.Config.safety_store_pct) ]
+         else []);
+        (if c.Config.safety_branch_pct <> d.Config.safety_branch_pct then
+           [ ("safety_branch_pct", Json.Int c.Config.safety_branch_pct) ]
+         else []);
+        (if c.Config.safety_serial_ops <> d.Config.safety_serial_ops then
+           [ ("safety_serial_ops", Json.Int c.Config.safety_serial_ops) ]
+         else []) ]
+  in
   Json.Obj
-    [ ("width", Json.Int c.Config.width);
+    ([ ("width", Json.Int c.Config.width);
       ("fetch_tasks_per_cycle", Json.Int c.Config.fetch_tasks_per_cycle);
       ("max_tasks", Json.Int c.Config.max_tasks);
       ("rob_entries", Json.Int c.Config.rob_entries);
@@ -112,6 +138,7 @@ let config_to_json (c : Config.t) =
       ("feedback", Json.Bool c.Config.feedback);
       ("split_spawning", Json.Bool c.Config.split_spawning);
       ("no_event_skip", Json.Bool c.Config.no_event_skip) ]
+    @ tracker_fields)
 
 let config_of_json j : Config.t =
   let int name = Json.to_int (Json.member name j) in
@@ -145,7 +172,33 @@ let config_of_json j : Config.t =
     no_event_skip =
       (match Json.member_opt "no_event_skip" j with
       | Some b -> Json.to_bool b
-      | None -> false) }
+      | None -> false);
+    (* additive fields (memory-dependence tracker PR): absent means the
+       default, matching [config_to_json]'s only-when-non-default rule *)
+    mem_tracker =
+      (match Json.member_opt "mem_tracker" j with
+      | Some b -> Json.to_bool b
+      | None -> Config.superscalar.Config.mem_tracker);
+    tracker_entries =
+      (match Json.member_opt "tracker_entries" j with
+      | Some v -> Json.to_int v
+      | None -> Config.superscalar.Config.tracker_entries);
+    mem_sync_threshold =
+      (match Json.member_opt "mem_sync_threshold" j with
+      | Some v -> Json.to_int v
+      | None -> Config.superscalar.Config.mem_sync_threshold);
+    safety_store_pct =
+      (match Json.member_opt "safety_store_pct" j with
+      | Some v -> Json.to_int v
+      | None -> Config.superscalar.Config.safety_store_pct);
+    safety_branch_pct =
+      (match Json.member_opt "safety_branch_pct" j with
+      | Some v -> Json.to_int v
+      | None -> Config.superscalar.Config.safety_branch_pct);
+    safety_serial_ops =
+      (match Json.member_opt "safety_serial_ops" j with
+      | Some v -> Json.to_int v
+      | None -> Config.superscalar.Config.safety_serial_ops) }
 
 (* ---- CSV ---- *)
 

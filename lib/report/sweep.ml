@@ -140,6 +140,7 @@ let resolve_config (s : spec) =
   match (s.config, s.policy) with
   | Some c, _ -> c
   | None, Pf_core.Policy.No_spawn -> Config.superscalar
+  | None, Pf_core.Policy.Adaptive -> Config.adaptive
   | None, _ -> Config.polyflow
 
 type exec_stats = {

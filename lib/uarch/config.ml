@@ -24,6 +24,12 @@ type t = {
   feedback : bool;
   split_spawning : bool;
   no_event_skip : bool;
+  mem_tracker : bool;
+  tracker_entries : int;
+  mem_sync_threshold : int;
+  safety_store_pct : int;
+  safety_branch_pct : int;
+  safety_serial_ops : int;
 }
 
 let superscalar =
@@ -51,9 +57,16 @@ let superscalar =
     sp_hint = true;
     feedback = true;
     split_spawning = false;
-    no_event_skip = false }
+    no_event_skip = false;
+    mem_tracker = false;
+    tracker_entries = 64;
+    mem_sync_threshold = 1;
+    safety_store_pct = 15;
+    safety_branch_pct = 7;
+    safety_serial_ops = 1 }
 
 let polyflow = { superscalar with fetch_tasks_per_cycle = 2; max_tasks = 8 }
+let adaptive = { polyflow with mem_tracker = true }
 
 let l1i_line_mask =
   lnot (Pf_cache.Hierarchy.default_params.Pf_cache.Hierarchy.l1i_line - 1)

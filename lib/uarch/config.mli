@@ -49,6 +49,34 @@ type t = {
           event. Timing and metrics are identical either way (held by
           test_skip.ml and the goldens); the flag exists so differential
           tests have a reference build to compare against. *)
+  (* The memory-dependence speculation subsystem (docs/ENGINE.md). All
+     defaults reproduce engine-3 timing exactly: the tracker is off and
+     the safety thresholds are only consulted by the [Adaptive] policy,
+     so every pre-existing policy/config pair is byte-identical. *)
+  mem_tracker : bool;
+      (** model the per-task load CAM: speculative cross-task loads are
+          recorded at issue and checked when an older task's store
+          retires; a hit squashes the offending task, charged to the
+          [mem_violation] CPI reason, and trains the store-set
+          predictor so repeat offenders synchronise instead. *)
+  tracker_entries : int;
+      (** per-task CAM capacity (rounded up to a power of two). Smaller
+          trackers lose address precision and squash on hash
+          collisions, as real violation CAMs do. *)
+  mem_sync_threshold : int;
+      (** store-set confidence at which a load is synchronised instead
+          of speculated ({!Pf_predict.Store_sets.create}). *)
+  safety_store_pct : int;
+      (** safety filter: a spawn region whose static store density
+          reaches this percentage is demoted to [Conservative]
+          (spawned, but every cross-task load synchronises). *)
+  safety_branch_pct : int;
+      (** safety filter: conditional-branch density threshold for the
+          [Conservative] demotion. *)
+  safety_serial_ops : int;
+      (** safety filter: number of serializing operations (divides,
+          remainders, indirect jumps) in the scanned region at which
+          the spawn is bypassed entirely. *)
 }
 
 (** The 8-wide superscalar baseline. *)
@@ -56,6 +84,10 @@ val superscalar : t
 
 (** PolyFlow: the superscalar plus 8 task contexts. *)
 val polyflow : t
+
+(** {!polyflow} with the memory-dependence tracker on — the default
+    configuration of the [Adaptive] policy. *)
+val adaptive : t
 
 (** Address mask selecting the L1 I-cache line of a PC, derived once
     from {!Pf_cache.Hierarchy.default_params} (the fetch stage applies

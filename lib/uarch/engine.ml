@@ -6,6 +6,7 @@ type input = {
   hints : Pf_core.Hint_cache.t;
   use_rec_pred : bool;
   use_dmt : bool;
+  safety : Pf_core.Safety_filter.t option;
   sink : Pf_obs.Sink.t;
   counters : Pf_obs.Counters.t option;
 }
@@ -62,6 +63,7 @@ type task = {
   mutable blocked_branch : int; (* -1 = none *)
   mutable last_line : int;
   origin : int; (* at_pc of the spawn point that created this task, or -1 *)
+  level : int; (* Safety_filter speculation level code; 2 = optimistic *)
   mutable inflight : int;
   mutable rob_used : int; (* dispatched-but-not-retired instructions *)
   mutable obs_ptr : int; (* cycle accounting: first maybe-incomplete index *)
@@ -227,6 +229,11 @@ let simulate_core ~yield ~stripe input =
   let m_spawn_suppressed = cnt "spawn_suppressed" in
   let m_divert_released = cnt "divert_released" in
   let m_load_syncs = cnt "load_syncs" in
+  let m_mem_violations = cnt "mem_violations" in
+  let m_mem_syncs = cnt "mem_syncs" in
+  let m_level_bypass = cnt "level_bypass" in
+  let m_level_conservative = cnt "level_conservative" in
+  let m_level_optimistic = cnt "level_optimistic" in
   let m_stall_frontend = cnt "stall_frontend" in
   let m_stall_divert = cnt "stall_divert" in
   let m_stall_sched = cnt "stall_sched" in
@@ -286,8 +293,22 @@ let simulate_core ~yield ~stripe input =
   let tstart = scratch.Scratch.tstart in
   let gshare = Pf_predict.Gshare.create () in
   let indirect = Pf_predict.Indirect.create () in
-  let store_sets = Pf_predict.Store_sets.create () in
+  let store_sets =
+    Pf_predict.Store_sets.create
+      ~sync_threshold:cfg.Config.mem_sync_threshold ()
+  in
   let recpred = Pf_predict.Reconvergence.create () in
+  (* The memory-dependence violation tracker (docs/ENGINE.md): a
+     per-task load CAM, probed by retiring stores. Off by default —
+     [use_tracker] guards every touch point, so engine-3 timing is
+     bit-exact with the tracker disabled. *)
+  let use_tracker = cfg.Config.mem_tracker in
+  let tracker =
+    if use_tracker then
+      Mem_tracker.create ~max_tasks:cfg.Config.max_tasks
+        ~entries:cfg.Config.tracker_entries
+    else Mem_tracker.create ~max_tasks:1 ~entries:1
+  in
   let hier = Pf_cache.Hierarchy.create () in
   let line_mask = Config.l1i_line_mask in
   (* tasks, in program order *)
@@ -304,11 +325,11 @@ let simulate_core ~yield ~stripe input =
     go 0
   in
   let make_task id slot start_idx end_idx start_cycle stall_reason origin
-      history ras =
+      level history ras =
     let t =
       { id; slot; start_idx; end_idx; fetch_ptr = start_idx;
         dispatch_ptr = start_idx; stall_until = start_cycle; stall_reason;
-        blocked_branch = -1; last_line = -1; origin; inflight = 0;
+        blocked_branch = -1; last_line = -1; origin; level; inflight = 0;
         rob_used = 0; obs_ptr = start_idx; history; history0 = history;
         ras = Pf_predict.Ras.copy ras; ras0 = Pf_predict.Ras.copy ras }
     in
@@ -384,7 +405,7 @@ let simulate_core ~yield ~stripe input =
   let shared_hist = ref Pf_predict.Gshare.initial_history in
   let initial_ras = Pf_predict.Ras.create ~depth:cfg.Config.ras_depth () in
   let initial_task =
-    make_task 0 0 0 n 0 Sink.r_base (-1) Pf_predict.Gshare.initial_history
+    make_task 0 0 0 n 0 Sink.r_base (-1) 2 Pf_predict.Gshare.initial_history
       initial_ras
   in
   (* Live tasks, oldest first, in a preallocated ring: the k-th oldest
@@ -487,10 +508,12 @@ let simulate_core ~yield ~stripe input =
   in
 
   (* ---- squash: reset the violating task and everything younger ----
-     Prunes the divert queue; the scheduler is swept by the caller
-     (issue, the only squash site) after its pass completes. *)
+     Prunes the divert queue; the scheduler is swept or re-filtered by
+     the caller. [reason] charges the recovery stall: issue-time
+     dependence violations keep [r_squash_recovery], tracker-detected
+     violations at retire are charged to [r_mem_violation]. *)
   let keep_divert i = get_state i = s_divert in
-  let squash_from victim_task =
+  let squash_from ~reason victim_task =
     cinc m_squashes;
     progress := true;
     let squashed_before = cv m_squashed in
@@ -517,13 +540,15 @@ let simulate_core ~yield ~stripe input =
       t.dispatch_ptr <- lo;
       if t.obs_ptr > lo then t.obs_ptr <- lo;
       t.stall_until <- !now + cfg.Config.squash_penalty;
-      t.stall_reason <- Sink.r_squash_recovery;
+      t.stall_reason <- reason;
       t.blocked_branch <- -1;
       t.last_line <- -1;
       t.inflight <- 0;
       t.rob_used <- 0;
       t.history <- t.history0;
       t.ras <- Pf_predict.Ras.copy t.ras0;
+      (* the squashed task's speculative loads are discarded with it *)
+      if use_tracker then Mem_tracker.reset_slot tracker t.slot;
       if t.origin >= 0 then begin
         let sid = sp_id t.origin in
         sp_squashed.(sid) <- sp_squashed.(sid) + 1
@@ -569,7 +594,39 @@ let simulate_core ~yield ~stripe input =
         t.inflight <- t.inflight - 1;
         t.rob_used <- t.rob_used - 1;
         if observe then sink.Sink.on_retire ~cycle:!now ~slot:t.slot ~index:i;
-        incr retire_ptr
+        incr retire_ptr;
+        (* tracker probe: the retiring store commits its write; a hit in
+           a younger task's load CAM means that task consumed the
+           location before the write committed — a cross-task
+           read-before-write violation. Squash the oldest offender (and
+           with it everything younger), train the store set with the
+           recorded load PC so the offender synchronises from now on,
+           and charge the recovery to the mem_violation reason. *)
+        if
+          use_tracker
+          && Array.unsafe_get kind i = k_store
+          && Array.unsafe_get addr i >= 0
+          && !live > 1
+        then begin
+          let a = Array.unsafe_get addr i in
+          let hit = ref false in
+          let k = ref 1 in
+          while (not !hit) && !k < !live do
+            let ty = ring_at !k in
+            let lpc = Mem_tracker.probe tracker ~slot:ty.slot ~addr:a in
+            if lpc >= 0 then begin
+              hit := true;
+              cinc m_mem_violations;
+              Pf_predict.Store_sets.train_violation store_sets ~load_pc:lpc
+                ~store_pc:pc.(i);
+              squash_from ~reason:Sink.r_mem_violation ty
+              (* stale scheduler entries left by the squash drop out of
+                 the next issue sweep (their state is no longer
+                 s_sched); the divert queue was pruned by squash_from *)
+            end
+            else incr k
+          done
+        end
       end
       else continue_ := false
     done;
@@ -581,6 +638,7 @@ let simulate_core ~yield ~stripe input =
         head := (let p = !head + 1 in if p >= cap then 0 else p);
         decr live;
         slot_task.(t.slot) <- None;
+        if use_tracker then Mem_tracker.reset_slot tracker t.slot;
         progress := true;
         if observe then
           sink.Sink.on_task_end ~cycle:!now ~slot:t.slot ~task:t.id;
@@ -594,6 +652,9 @@ let simulate_core ~yield ~stripe input =
   let reg_ready p = p < 0 || completed p in
   let issue_budget = ref 0 in
   let squashed_during_sweep = ref false in
+  (* start_idx of the oldest live task during this issue sweep: loads
+     it owns are non-speculative and stay out of the tracker CAM *)
+  let issue_oldest_start = ref max_int in
   (* Most scheduler entries visited by a sweep are waiting on producer
      latency.  [ready_at.(i)] caches a lower bound on the first cycle
      entry [i] could act (issue or raise a violation), so later sweeps
@@ -635,7 +696,7 @@ let simulate_core ~yield ~stripe input =
           (* dependence violation: train and squash from this task *)
           Pf_predict.Store_sets.train_violation store_sets ~load_pc:pc.(i)
             ~store_pc:pc.(m);
-          squash_from (owner_task i);
+          squash_from ~reason:Sink.r_squash_recovery (owner_task i);
           squashed_during_sweep := true;
           (* i itself is squashed with its task *)
           get_state i = s_sched
@@ -660,6 +721,25 @@ let simulate_core ~yield ~stripe input =
           let c = !now + latency in
           Array.unsafe_set complete_c i c;
           note_completion c;
+          (* tracker: remember the speculative cross-task read so a
+             later-retiring older store can catch it. Only unsynced
+             loads of optimistic-level tasks that are not the oldest
+             speculate on memory; a producer that already retired
+             committed its write before this read. *)
+          if
+            use_tracker && k = k_load
+            && Bytes.unsafe_get synced i <> '\001'
+            && cross i m
+            && get_state m <> s_retired
+            && Array.unsafe_get addr i >= 0
+            && Array.unsafe_get tstart i <> !issue_oldest_start
+          then begin
+            let ot = owner_task i in
+            if ot.level = 2 then
+              Mem_tracker.record_load tracker
+                ~slot:(Array.unsafe_get owner_slot i)
+                ~addr:(Array.unsafe_get addr i) ~pc:pc.(i)
+          end;
           if observe then
             sink.Sink.on_issue ~cycle:!now ~slot:owner_slot.(i) ~index:i
               ~latency;
@@ -691,6 +771,8 @@ let simulate_core ~yield ~stripe input =
        visits candidates oldest-first without sorting *)
     issue_budget := cfg.Config.fus;
     squashed_during_sweep := false;
+    issue_oldest_start :=
+      (if !live > 0 then (ring_at 0).start_idx else max_int);
     Readyq.sweep scheduler issue_step;
     (* a squash invalidates entries the sweep already decided to keep *)
     if !squashed_during_sweep then Readyq.filter scheduler keep_sched
@@ -846,11 +928,19 @@ let simulate_core ~yield ~stripe input =
           in
           let mem_divert =
             if kind.(i) = k_load && cross i memsrc.(i) then
-              if Pf_predict.Store_sets.predict_sync store_sets ~load_pc:pc.(i)
+              (* a conservative-level task synchronises every cross-task
+                 load; optimistic tasks ask the store-set predictor *)
+              if
+                t.level = 1
+                || Pf_predict.Store_sets.predict_sync store_sets
+                     ~load_pc:pc.(i)
               then begin
                 (* count each load the predictor chooses to synchronise
                    once, even if dispatch retries or a squash refetches *)
-                if Bytes.get synced i <> '\001' then cinc m_load_syncs;
+                if Bytes.get synced i <> '\001' then begin
+                  cinc m_load_syncs;
+                  if use_tracker || t.level = 1 then cinc m_mem_syncs
+                end;
                 Bytes.set synced i '\001';
                 not (completed memsrc.(i))
               end
@@ -927,14 +1017,34 @@ let simulate_core ~yield ~stripe input =
               j >= 0 && j < t.end_idx
               && j - i >= cfg.Config.min_task_instrs
               && j - i <= cfg.Config.max_spawn_distance
-              && profitable sp.Pf_core.Spawn_point.at_pc
             then begin
+              (* the Adaptive Flow Director: the safety filter's static
+                 verdict on the target region picks the speculation
+                 level of the would-be task *)
+              let lvl =
+                match input.safety with
+                | None -> 2
+                | Some f ->
+                    Pf_core.Safety_filter.code f
+                      ~at_pc:sp.Pf_core.Spawn_point.at_pc
+              in
+              if lvl = 0 then begin
+                cinc m_level_bypass;
+                attempt rest
+              end
+              else if profitable sp.Pf_core.Spawn_point.at_pc then begin
                 let t' =
                   make_task !next_task_id (free_slot ()) j t.end_idx
                     (!now + cfg.Config.spawn_latency)
-                    Sink.r_spawn_overhead sp.Pf_core.Spawn_point.at_pc
+                    Sink.r_spawn_overhead sp.Pf_core.Spawn_point.at_pc lvl
                     t.history t.ras
                 in
+                (match input.safety with
+                | None -> ()
+                | Some _ ->
+                    cinc
+                      (if lvl = 1 then m_level_conservative
+                       else m_level_optimistic));
                 let sid = sp_id sp.Pf_core.Spawn_point.at_pc in
                 sp_spawned.(sid) <- sp_spawned.(sid) + 1;
                 incr next_task_id;
@@ -948,6 +1058,8 @@ let simulate_core ~yield ~stripe input =
                   sink.Sink.on_task_start ~cycle:!now ~slot:t'.slot ~task:t'.id
                     ~parent_slot:t.slot ~at_pc:sp.Pf_core.Spawn_point.at_pc
               end
+              else attempt rest
+            end
             else attempt rest
       in
       attempt candidates
@@ -1201,7 +1313,27 @@ let simulate_core ~yield ~stripe input =
           failwith "Engine self-check failed: task regions not contiguous";
         prev_end := t.end_idx
       done
-    end
+    end;
+    (* the memory tracker's per-slot live count must agree with its
+       storage, and a slot with no task must hold no CAM entries — a
+       squash or task end that forgot reset_slot would leak stale loads
+       into the next task occupying the slot *)
+    if use_tracker then
+      for s = 0 to cap - 1 do
+        let lv = Mem_tracker.live tracker ~slot:s in
+        let rc = Mem_tracker.recount tracker ~slot:s in
+        if lv <> rc then
+          failwith
+            (Printf.sprintf
+               "Engine self-check failed: mem tracker slot %d count %d/%d" s lv
+               rc);
+        if slot_task.(s) = None && lv <> 0 then
+          failwith
+            (Printf.sprintf
+               "Engine self-check failed: mem tracker leak in freed slot %d \
+                (%d entries)"
+               s lv)
+      done
   in
   let checking =
     match Sys.getenv_opt "PF_CHECK" with Some s when s <> "" -> true | _ -> false

@@ -54,6 +54,13 @@ type input = {
   use_rec_pred : bool;              (** add dynamic reconvergence spawns *)
   use_dmt : bool;                   (** add DMT fall-through heuristics
                                         (Section 5 related work) *)
+  safety : Pf_core.Safety_filter.t option;
+      (** when present (the [adaptive] policy), every spawn target is
+          classified before spawning: bypass regions are never spawned,
+          conservative tasks synchronise all cross-task loads, and
+          optimistic tasks run under the memory-dependence tracker.
+          [None] reproduces the fixed single-level speculation of every
+          other policy byte-for-byte. *)
   sink : Pf_obs.Sink.t;
       (** event hooks, called at every pipeline boundary plus once per
           cycle per task slot with a cycle-accounting reason code. Pass

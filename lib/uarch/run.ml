@@ -29,9 +29,19 @@ let to_input ~sink ~counters ~config prepared ~policy =
     match (config, policy) with
     | Some c, _ -> c
     | None, Pf_core.Policy.No_spawn -> Config.superscalar
+    | None, Pf_core.Policy.Adaptive -> Config.adaptive
     | None, _ -> Config.polyflow
   in
   let selected = Pf_core.Policy.select policy prepared.all_spawns in
+  let safety =
+    if Pf_core.Policy.uses_safety_filter policy then
+      Some
+        (Pf_core.Safety_filter.of_spawns prepared.program selected
+           ~store_pct:config.Config.safety_store_pct
+           ~branch_pct:config.Config.safety_branch_pct
+           ~serial_ops:config.Config.safety_serial_ops)
+    else None
+  in
   { Engine.config;
     trace = prepared.trace;
     flat = prepared.flat;
@@ -39,6 +49,7 @@ let to_input ~sink ~counters ~config prepared ~policy =
     hints = Pf_core.Hint_cache.of_spawns selected;
     use_rec_pred = Pf_core.Policy.uses_reconvergence_predictor policy;
     use_dmt = Pf_core.Policy.uses_dmt_heuristics policy;
+    safety;
     sink;
     counters }
 

@@ -28,7 +28,11 @@ val prepare :
   prepared
 
 (** Simulate one policy. [config] defaults to {!Config.polyflow} except
-    for [Policy.No_spawn], which defaults to {!Config.superscalar}.
+    for [Policy.No_spawn], which defaults to {!Config.superscalar}, and
+    [Policy.Adaptive], which defaults to {!Config.adaptive} (the memory
+    tracker on). For [Policy.Adaptive] the spawn points are additionally
+    classified by a {!Pf_core.Safety_filter} built from the config's
+    safety thresholds.
     [sink] (default {!Pf_obs.Sink.null}) attaches observability hooks
     and [counters] a registry for the engine's named event counts — see
     {!Engine.input} for both contracts. *)

@@ -27,6 +27,7 @@ let all_policies = Pf_fuzz.Oracle.all_policies
    reference and the batch member share one base configuration. *)
 let base_config = function
   | Policy.No_spawn -> Config.superscalar
+  | Policy.Adaptive -> Config.adaptive
   | _ -> Config.polyflow
 
 type observed = {
@@ -221,6 +222,7 @@ let test_degenerate () =
                (Pf_core.Policy.select Policy.Postdoms prep.Run.all_spawns);
            use_rec_pred = false;
            use_dmt = false;
+           safety = None;
            sink = Sink.null;
            counters = None };
          { Engine.config = Config.polyflow;
@@ -232,6 +234,7 @@ let test_degenerate () =
                (Pf_core.Policy.select Policy.Postdoms other.Run.all_spawns);
            use_rec_pred = false;
            use_dmt = false;
+           safety = None;
            sink = Sink.null;
            counters = None } |]
   with

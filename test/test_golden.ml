@@ -37,7 +37,11 @@ let cases =
        are verbatim copies of the plain postdoms goldens *)
     ( "postdoms@no-event-skip",
       Pf_core.Policy.Postdoms,
-      Some { Config.polyflow with Config.no_event_skip = true } ) ]
+      Some { Config.polyflow with Config.no_event_skip = true } );
+    (* three-level adaptive speculation with the memory-dependence
+       tracker on (its per-policy default config) — recorded when the
+       subsystem landed *)
+    ("adaptive", Pf_core.Policy.Adaptive, None) ]
 
 let golden =
   [ "gzip|superscalar|{\"instructions\":4000,\"cycles\":2400,\"ipc\":1.6666666666666667,\"branch_mispredicts\":66,\"indirect_mispredicts\":0,\"return_mispredicts\":0,\"spawns\":[],\"squashes\":0,\"squashed_instrs\":0,\"diverted\":0,\"tasks_spawned\":0,\"max_live_tasks\":1,\"l1i_misses\":4,\"l1d_misses\":10,\"l2_misses\":10,\"stall_frontend\":583,\"stall_divert\":0,\"stall_sched\":55,\"stall_exec\":758}";
@@ -49,6 +53,7 @@ let golden =
     "gzip|postdoms@split|{\"instructions\":4000,\"cycles\":1881,\"ipc\":2.126528442317916,\"branch_mispredicts\":62,\"indirect_mispredicts\":0,\"return_mispredicts\":0,\"spawns\":[{\"category\":\"other\",\"count\":15},{\"category\":\"hammock\",\"count\":41}],\"squashes\":0,\"squashed_instrs\":0,\"diverted\":36,\"tasks_spawned\":56,\"max_live_tasks\":8,\"l1i_misses\":4,\"l1d_misses\":10,\"l2_misses\":10,\"stall_frontend\":470,\"stall_divert\":0,\"stall_sched\":33,\"stall_exec\":591}";
     "gzip|postdoms@no-rob-shares|{\"instructions\":4000,\"cycles\":1926,\"ipc\":2.0768431983385254,\"branch_mispredicts\":69,\"indirect_mispredicts\":0,\"return_mispredicts\":0,\"spawns\":[{\"category\":\"other\",\"count\":14},{\"category\":\"hammock\",\"count\":40}],\"squashes\":0,\"squashed_instrs\":0,\"diverted\":33,\"tasks_spawned\":54,\"max_live_tasks\":8,\"l1i_misses\":4,\"l1d_misses\":10,\"l2_misses\":10,\"stall_frontend\":472,\"stall_divert\":0,\"stall_sched\":34,\"stall_exec\":622}";
     "gzip|postdoms@no-event-skip|{\"instructions\":4000,\"cycles\":1881,\"ipc\":2.126528442317916,\"branch_mispredicts\":62,\"indirect_mispredicts\":0,\"return_mispredicts\":0,\"spawns\":[{\"category\":\"other\",\"count\":15},{\"category\":\"hammock\",\"count\":41}],\"squashes\":0,\"squashed_instrs\":0,\"diverted\":36,\"tasks_spawned\":56,\"max_live_tasks\":8,\"l1i_misses\":4,\"l1d_misses\":10,\"l2_misses\":10,\"stall_frontend\":470,\"stall_divert\":0,\"stall_sched\":33,\"stall_exec\":591}";
+    "gzip|adaptive|{\"instructions\":4000,\"cycles\":1457,\"ipc\":2.7453671928620453,\"branch_mispredicts\":59,\"indirect_mispredicts\":0,\"return_mispredicts\":0,\"spawns\":[{\"category\":\"loop\",\"count\":40},{\"category\":\"hammock\",\"count\":19}],\"squashes\":0,\"squashed_instrs\":0,\"diverted\":210,\"tasks_spawned\":59,\"max_live_tasks\":8,\"l1i_misses\":4,\"l1d_misses\":10,\"l2_misses\":10,\"stall_frontend\":365,\"stall_divert\":0,\"stall_sched\":14,\"stall_exec\":451}";
     "mcf|superscalar|{\"instructions\":4000,\"cycles\":11043,\"ipc\":0.3622204111201666,\"branch_mispredicts\":164,\"indirect_mispredicts\":0,\"return_mispredicts\":0,\"spawns\":[],\"squashes\":0,\"squashed_instrs\":0,\"diverted\":0,\"tasks_spawned\":0,\"max_live_tasks\":1,\"l1i_misses\":2,\"l1d_misses\":130,\"l2_misses\":113,\"stall_frontend\":955,\"stall_divert\":0,\"stall_sched\":147,\"stall_exec\":8554}";
     "mcf|postdoms|{\"instructions\":4000,\"cycles\":5988,\"ipc\":0.6680026720106881,\"branch_mispredicts\":164,\"indirect_mispredicts\":0,\"return_mispredicts\":0,\"spawns\":[{\"category\":\"hammock\",\"count\":144}],\"squashes\":0,\"squashed_instrs\":0,\"diverted\":690,\"tasks_spawned\":144,\"max_live_tasks\":8,\"l1i_misses\":2,\"l1d_misses\":130,\"l2_misses\":113,\"stall_frontend\":635,\"stall_divert\":0,\"stall_sched\":89,\"stall_exec\":4238}";
     "mcf|loopFT+procFT|{\"instructions\":4000,\"cycles\":11043,\"ipc\":0.3622204111201666,\"branch_mispredicts\":164,\"indirect_mispredicts\":0,\"return_mispredicts\":0,\"spawns\":[],\"squashes\":0,\"squashed_instrs\":0,\"diverted\":0,\"tasks_spawned\":0,\"max_live_tasks\":1,\"l1i_misses\":2,\"l1d_misses\":130,\"l2_misses\":113,\"stall_frontend\":955,\"stall_divert\":0,\"stall_sched\":147,\"stall_exec\":8554}";
@@ -57,7 +62,8 @@ let golden =
     "mcf|dmt|{\"instructions\":4000,\"cycles\":11043,\"ipc\":0.3622204111201666,\"branch_mispredicts\":164,\"indirect_mispredicts\":0,\"return_mispredicts\":0,\"spawns\":[],\"squashes\":0,\"squashed_instrs\":0,\"diverted\":0,\"tasks_spawned\":0,\"max_live_tasks\":1,\"l1i_misses\":2,\"l1d_misses\":130,\"l2_misses\":113,\"stall_frontend\":955,\"stall_divert\":0,\"stall_sched\":147,\"stall_exec\":8554}";
     "mcf|postdoms@split|{\"instructions\":4000,\"cycles\":5988,\"ipc\":0.6680026720106881,\"branch_mispredicts\":164,\"indirect_mispredicts\":0,\"return_mispredicts\":0,\"spawns\":[{\"category\":\"hammock\",\"count\":144}],\"squashes\":0,\"squashed_instrs\":0,\"diverted\":690,\"tasks_spawned\":144,\"max_live_tasks\":8,\"l1i_misses\":2,\"l1d_misses\":130,\"l2_misses\":113,\"stall_frontend\":635,\"stall_divert\":0,\"stall_sched\":89,\"stall_exec\":4238}";
     "mcf|postdoms@no-rob-shares|{\"instructions\":4000,\"cycles\":5988,\"ipc\":0.6680026720106881,\"branch_mispredicts\":164,\"indirect_mispredicts\":0,\"return_mispredicts\":0,\"spawns\":[{\"category\":\"hammock\",\"count\":144}],\"squashes\":0,\"squashed_instrs\":0,\"diverted\":690,\"tasks_spawned\":144,\"max_live_tasks\":8,\"l1i_misses\":2,\"l1d_misses\":130,\"l2_misses\":113,\"stall_frontend\":635,\"stall_divert\":0,\"stall_sched\":89,\"stall_exec\":4238}";
-    "mcf|postdoms@no-event-skip|{\"instructions\":4000,\"cycles\":5988,\"ipc\":0.6680026720106881,\"branch_mispredicts\":164,\"indirect_mispredicts\":0,\"return_mispredicts\":0,\"spawns\":[{\"category\":\"hammock\",\"count\":144}],\"squashes\":0,\"squashed_instrs\":0,\"diverted\":690,\"tasks_spawned\":144,\"max_live_tasks\":8,\"l1i_misses\":2,\"l1d_misses\":130,\"l2_misses\":113,\"stall_frontend\":635,\"stall_divert\":0,\"stall_sched\":89,\"stall_exec\":4238}" ]
+    "mcf|postdoms@no-event-skip|{\"instructions\":4000,\"cycles\":5988,\"ipc\":0.6680026720106881,\"branch_mispredicts\":164,\"indirect_mispredicts\":0,\"return_mispredicts\":0,\"spawns\":[{\"category\":\"hammock\",\"count\":144}],\"squashes\":0,\"squashed_instrs\":0,\"diverted\":690,\"tasks_spawned\":144,\"max_live_tasks\":8,\"l1i_misses\":2,\"l1d_misses\":130,\"l2_misses\":113,\"stall_frontend\":635,\"stall_divert\":0,\"stall_sched\":89,\"stall_exec\":4238}";
+    "mcf|adaptive|{\"instructions\":4000,\"cycles\":10417,\"ipc\":0.3839877123932034,\"branch_mispredicts\":138,\"indirect_mispredicts\":0,\"return_mispredicts\":0,\"spawns\":[{\"category\":\"loop\",\"count\":97},{\"category\":\"hammock\",\"count\":4}],\"squashes\":0,\"squashed_instrs\":0,\"diverted\":1141,\"tasks_spawned\":101,\"max_live_tasks\":8,\"l1i_misses\":2,\"l1d_misses\":130,\"l2_misses\":113,\"stall_frontend\":604,\"stall_divert\":0,\"stall_sched\":80,\"stall_exec\":8467}" ]
 
 let prepare name =
   let wl = Option.get (Pf_workloads.Suite.find name) in

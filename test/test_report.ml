@@ -115,7 +115,32 @@ let test_config_roundtrip () =
         = c))
     [ Config.superscalar;
       Config.polyflow;
-      { Config.polyflow with Config.max_tasks = 3; split_spawning = true } ]
+      { Config.polyflow with Config.max_tasks = 3; split_spawning = true };
+      Config.adaptive;
+      { Config.adaptive with
+        Config.tracker_entries = 16;
+        mem_sync_threshold = 3;
+        safety_store_pct = 10;
+        safety_branch_pct = 50;
+        safety_serial_ops = 4 } ];
+  (* the tracker fields are additive: a default-valued config must
+     serialize without them, so documents and run-cache digests written
+     before the subsystem existed stay byte-identical *)
+  let field_names j =
+    match j with Json.Obj fields -> List.map fst fields | _ -> []
+  in
+  List.iter
+    (fun f ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s absent from a default config document" f)
+        false
+        (List.mem f (field_names (Codec.config_to_json Config.polyflow)));
+      Alcotest.(check bool)
+        (Printf.sprintf "%s present for the adaptive config" f)
+        (f = "mem_tracker")
+        (List.mem f (field_names (Codec.config_to_json Config.adaptive))))
+    [ "mem_tracker"; "tracker_entries"; "mem_sync_threshold";
+      "safety_store_pct"; "safety_branch_pct"; "safety_serial_ops" ]
 
 let test_metrics_decode_is_strict () =
   let j = Codec.metrics_to_json (QCheck.Gen.generate1 (QCheck.gen arbitrary_metrics)) in
@@ -346,7 +371,26 @@ let test_cache_digest_sensitivity () =
           ( "split_spawning",
             { c with Config.split_spawning = not c.Config.split_spawning } );
           ( "no_event_skip",
-            { c with Config.no_event_skip = not c.Config.no_event_skip } ) ]
+            { c with Config.no_event_skip = not c.Config.no_event_skip } );
+          (* memory-dependence tracker fields: serialized (and so
+             digested) only when non-default, which is exactly what
+             each variant here is *)
+          ( "mem_tracker",
+            { c with Config.mem_tracker = not c.Config.mem_tracker } );
+          ( "tracker_entries",
+            { c with Config.tracker_entries = c.Config.tracker_entries * 2 } );
+          ( "mem_sync_threshold",
+            { c with
+              Config.mem_sync_threshold = c.Config.mem_sync_threshold + 1 } );
+          ( "safety_store_pct",
+            { c with Config.safety_store_pct = c.Config.safety_store_pct + 1 }
+          );
+          ( "safety_branch_pct",
+            { c with
+              Config.safety_branch_pct = c.Config.safety_branch_pct + 1 } );
+          ( "safety_serial_ops",
+            { c with
+              Config.safety_serial_ops = c.Config.safety_serial_ops + 1 } ) ]
   in
   let seen = Hashtbl.create 64 in
   Hashtbl.add seen (d ()) "base";

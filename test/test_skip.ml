@@ -29,6 +29,7 @@ let all_policies = Pf_fuzz.Oracle.all_policies
    pair share the same base configuration. *)
 let base_config = function
   | Policy.No_spawn -> Config.superscalar
+  | Policy.Adaptive -> Config.adaptive
   | _ -> Config.polyflow
 
 type observed = {
