@@ -6,13 +6,22 @@ test:
 	dune runtest
 # Everything CI runs: full build, full test suite (unit + qcheck +
 # expect, including the fixed-seed fuzz smoke), then the dedicated fuzz
-# smoke entry point and the end-to-end smoke sweep.
-ci: all test fuzz-smoke bench-smoke
+# smoke entry point and the two end-to-end smoke sweeps.
+ci: all test fuzz-smoke bench-smoke loopnest-smoke
 bench:
 	dune exec bench/main.exe
 # Tiny 2x2 sweep that validates the JSON pipeline end to end (~seconds).
 bench-smoke:
 	dune exec bench/main.exe -- --smoke
+# Dependence-distance figure over the loop-nest family (DOACROSS vs
+# postdominance vs adaptive; see EXPERIMENTS.md). Flags pass through
+# ARGS, e.g. `make bench-loopnest ARGS=--no-cache`.
+bench-loopnest:
+	dune exec bench/main.exe -- --loopnest $(ARGS)
+# Self-checking smoke-scale version of the same sweep (CI's figure gate):
+# asserts the DOACROSS-vs-superscalar trend, not just that it runs.
+loopnest-smoke:
+	dune exec bench/main.exe -- --loopnest --smoke $(ARGS)
 # Engine microbenchmark: prepare-vs-simulate phase timings plus a timed
 # full-grid sweep, written to BENCH_engine.json (see docs/ENGINE.md).
 # Extra flags pass through ARGS, e.g. `make bench-engine ARGS=--smoke`.
@@ -47,9 +56,11 @@ clean:
 help:
 	@echo "make all          build everything"
 	@echo "make test         run the test suite (dune runtest)"
-	@echo "make ci           what CI runs: all + test + fuzz-smoke + bench-smoke"
+	@echo "make ci           what CI runs: all + test + fuzz-smoke + smoke sweeps"
 	@echo "make bench        full figure-reproduction sweep (minutes)"
 	@echo "make bench-smoke  tiny end-to-end sweep self-check (~seconds)"
+	@echo "make bench-loopnest  dependence-distance figure -> JSON (ARGS)"
+	@echo "make loopnest-smoke  self-checking loop-nest sweep (~seconds)"
 	@echo "make bench-engine engine microbenchmark -> BENCH_engine.json"
 	@echo "make bench-batch  batched vs sequential cold sweeps (printed only)"
 	@echo "make serve        boot the polyflow_serve daemon (SOCKET, ARGS)"
@@ -58,4 +69,4 @@ help:
 	@echo "make fuzz         randomized fuzz campaign (FUZZ_SEED, FUZZ_COUNT)"
 	@echo "make doc          build the odoc API docs"
 	@echo "make clean        remove _build"
-.PHONY: all test ci bench bench-smoke bench-engine bench-batch serve bench-serve fuzz fuzz-smoke doc clean help
+.PHONY: all test ci bench bench-smoke bench-loopnest loopnest-smoke bench-engine bench-batch serve bench-serve fuzz fuzz-smoke doc clean help

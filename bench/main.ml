@@ -35,6 +35,7 @@ let window_override =
 let jobs = ref (min 8 (Domain.recommended_domain_count ()))
 let json_out = ref ""
 let smoke = ref false
+let loopnest = ref false
 let no_micro = ref false
 let no_cache = ref false
 let cache_dir = ref "_cache"
@@ -45,6 +46,9 @@ let () =
     [ ("--jobs", Arg.Set_int jobs, "N  worker domains for the sweep (default: cores, max 8)");
       ("--json", Arg.Set_string json_out, "FILE  save the sweep as a report document");
       ("--smoke", Arg.Set smoke, "  2-workload x 2-policy self-checking mini-sweep");
+      ("--loopnest", Arg.Set loopnest,
+       "  sweep the loop-nest dependence-distance family instead of the paper \
+        grid (with --smoke: self-checking DOACROSS trend assertions)");
       ("--no-micro", Arg.Set no_micro, "  skip the bechamel micro-benchmarks");
       ("--no-cache", Arg.Set no_cache,
        "  bypass the sweep result cache and resimulate everything");
@@ -53,7 +57,7 @@ let () =
       ("-v", Arg.Set verbose,
        "  verbose: print the sweep's cache/batch execution summary") ]
     (fun a -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" a)))
-    "bench/main.exe [--jobs N] [--json FILE] [--smoke] [--no-micro] [--no-cache] [--cache DIR] [-v]"
+    "bench/main.exe [--jobs N] [--json FILE] [--smoke] [--loopnest] [--no-micro] [--no-cache] [--cache DIR] [-v]"
 
 (* ---- the sweep grid ---- *)
 
@@ -100,7 +104,9 @@ let grid_policies =
     all
 
 let full_specs () =
-  let names = Pf_workloads.Suite.names in
+  (* the paper grid covers the 12 SPEC-shaped kernels; the loop-nest
+     family is swept by its own figure (--loopnest) *)
+  let names = Pf_workloads.Suite.spec_names in
   let per_workload w =
     List.map (fun p -> Sweep.spec ?window:window_override w p) grid_policies
     @ List.map
@@ -143,12 +149,12 @@ type ctx = {
   names : string list; (* suite order *)
 }
 
-let ctx_of doc =
+let ctx_of ?(names = Pf_workloads.Suite.spec_names) doc =
   let tbl = Hashtbl.create 512 in
   List.iter
     (fun (r : Sweep.run) -> Hashtbl.replace tbl (r.Sweep.workload, r.Sweep.label) r)
     doc.Sweep.runs;
-  { doc; tbl; names = Pf_workloads.Suite.names }
+  { doc; tbl; names }
 
 let run_exn ctx w label =
   match Hashtbl.find_opt ctx.tbl (w, label) with
@@ -197,7 +203,7 @@ let figure5 () =
       Printf.printf "%-10s %7.1f%% %7.1f%% %8.1f%% %6.1f%% %8d\n"
         wl.Pf_workloads.Workload.name lf pf hm ot
         (Pf_core.Static_stats.total stats))
-    (Pf_workloads.Suite.all ())
+    (List.filter_map Pf_workloads.Suite.find Pf_workloads.Suite.spec_names)
 
 let figure8 () =
   section "Figure 8: Pipeline parameters";
@@ -725,6 +731,184 @@ let run_smoke () =
   exit (if all_ok then 0 else 1)
 
 (* ------------------------------------------------------------------ *)
+(* The loop-nest / DOACROSS dependence-distance figure: the Loopnest   *)
+(* family swept across carry spans (and stride/depth variants) under   *)
+(* superscalar, postdoms, doacross and adaptive. EXPERIMENTS.md has    *)
+(* the recipe; --smoke runs the trend assertions the CI job gates on.  *)
+
+module Loopnest = Pf_workloads.Loopnest
+
+let loopnest_policies =
+  Pf_core.Policy.[ No_spawn; Postdoms; Doacross; Adaptive ]
+
+(* Small windows under-warm the spawn-profitability feedback and make
+   the distance trend noisy; 12k iterations is the smallest scale at
+   which the DOACROSS degradation is cleanly monotone. *)
+let loopnest_smoke_window = 12_000
+
+let loopnest_variant_names =
+  (* the registered stride/depth variants: every Loopnest member that is
+     not part of the distance sweep itself *)
+  List.filter
+    (fun n ->
+      String.length n >= 8
+      && String.sub n 0 8 = "loopnest"
+      && not (List.mem n Loopnest.sweep_names))
+    Pf_workloads.Suite.names
+
+let loopnest_specs ~window names =
+  List.concat_map
+    (fun w -> List.map (fun p -> Sweep.spec ?window w p) loopnest_policies)
+    names
+
+let loopnest_distance_table ctx =
+  section
+    "Dependence-distance figure: speedup over the superscalar vs carry span \
+     (unit stride, depth 1)";
+  Printf.printf "%-22s %8s" "nest" "span";
+  List.iter
+    (fun p -> Printf.printf " %12s" (Pf_core.Policy.name p))
+    (List.tl loopnest_policies);
+  Printf.printf "\n";
+  hr ();
+  List.iter2
+    (fun d w ->
+      Printf.printf "%-22s %8d" w d;
+      List.iter
+        (fun p ->
+          Printf.printf " %+11.1f%%" (speedup ctx w (Pf_core.Policy.name p)))
+        (List.tl loopnest_policies);
+      Printf.printf "\n")
+    Loopnest.distances Loopnest.sweep_names;
+  Printf.printf
+    "\nAt span 0 every iteration is independent (DOALL): back-edge tasks \
+     overlap whole\niterations. Each extra unit of span serializes one more \
+     predecessor's store into\nthe iteration, so the DOACROSS win decays \
+     toward superscalar parity.\n"
+
+let loopnest_variant_table ctx =
+  section
+    "Stride and depth variants (carry span 2): speedup over the superscalar";
+  speedup_table
+    { ctx with names = loopnest_variant_names }
+    (List.tl loopnest_policies)
+
+let run_loopnest () =
+  let t0 = Unix.gettimeofday () in
+  print_endline
+    "PolyFlow loop-nest family: DOACROSS speculation vs cross-iteration \
+     dependence distance";
+  (match window_override with
+  | Some w -> Printf.printf "(window override: %d instructions)\n" w
+  | None -> ());
+  let names = Loopnest.sweep_names @ loopnest_variant_names in
+  let specs = loopnest_specs ~window:window_override names in
+  Printf.printf "\nSweeping %d runs over %d loop nests (%d jobs)...\n%!"
+    (List.length specs) (List.length names) !jobs;
+  let cache =
+    if !no_cache then None
+    else Some (Pf_report.Run_cache.create ~dir:!cache_dir ())
+  in
+  let runs, _ = Sweep.execute ?cache ~jobs:!jobs specs in
+  let doc =
+    Sweep.document
+      ~tool:"bench/main.exe --loopnest"
+      ~jobs:!jobs
+      ~wall_s:(Unix.gettimeofday () -. t0)
+      runs
+  in
+  let ctx = ctx_of ~names doc in
+  loopnest_distance_table ctx;
+  loopnest_variant_table ctx;
+  if !json_out <> "" then begin
+    Sweep.save !json_out doc;
+    Printf.printf "\nWrote %d runs to %s (schema %d); render with:\n  dune exec \
+                   bin/polyflow_sim.exe -- report %s\n"
+      (List.length doc.Sweep.runs) !json_out Pf_report.Manifest.schema_version
+      !json_out
+  end;
+  Printf.printf "\nTotal bench time: %.1f s\n" (Unix.gettimeofday () -. t0)
+
+(* Smoke: the distance sweep at a reduced window, with the acceptance
+   assertions behind the CI figure gate. Output is byte-deterministic
+   (test/loopnest_smoke.expected diffs it). *)
+let run_loopnest_smoke () =
+  let check name ok detail =
+    Printf.printf "%s: %s\n" name (if ok then "ok" else "FAIL " ^ detail);
+    ok
+  in
+  Printf.printf
+    "loopnest smoke sweep: %d distances x %d policies, window %d\n"
+    (List.length Loopnest.distances)
+    (List.length loopnest_policies)
+    loopnest_smoke_window;
+  let t0 = Unix.gettimeofday () in
+  let specs =
+    loopnest_specs ~window:(Some loopnest_smoke_window) Loopnest.sweep_names
+  in
+  let runs, _ = Sweep.execute ~jobs:4 specs in
+  let doc =
+    Sweep.document ~tool:"bench/main.exe --loopnest --smoke" ~jobs:4
+      ~wall_s:(Unix.gettimeofday () -. t0)
+      runs
+  in
+  Printf.printf "schema_version %d, runs %d\n"
+    doc.Sweep.manifest.Pf_report.Manifest.schema_version
+    (List.length doc.Sweep.runs);
+  let ctx = ctx_of ~names:Loopnest.sweep_names doc in
+  let reparsed =
+    Sweep.of_json
+      (Pf_report.Json.of_string (Pf_report.Json.to_string_pretty (Sweep.to_json doc)))
+  in
+  let round_trip_ok =
+    List.for_all2
+      (fun (a : Sweep.run) (b : Sweep.run) ->
+        a.Sweep.metrics = b.Sweep.metrics
+        && a.Sweep.config = b.Sweep.config
+        && a.Sweep.workload = b.Sweep.workload
+        && a.Sweep.label = b.Sweep.label)
+      doc.Sweep.runs reparsed.Sweep.runs
+  in
+  let ratio w =
+    Metrics.ipc (metrics ctx w "doacross")
+    /. Metrics.ipc (metrics ctx w "superscalar")
+  in
+  let doacross_speedups =
+    List.map (fun w -> speedup ctx w "doacross") Loopnest.sweep_names
+  in
+  let doall_ok = ratio (List.hd Loopnest.sweep_names) >= 1.3 in
+  let far_ok =
+    List.for_all2
+      (fun d w -> d < 4 || speedup ctx w "doacross" > 0.)
+      Loopnest.distances Loopnest.sweep_names
+  in
+  let monotone_ok =
+    let rec non_increasing = function
+      | a :: (b :: _ as rest) -> b <= a && non_increasing rest
+      | _ -> true
+    in
+    non_increasing doacross_speedups
+  in
+  let ok1 = check "json round-trip" round_trip_ok "(reparsed document differs)" in
+  let ok2 =
+    check "doacross >= 1.3x superscalar on the DOALL nest (span 0)" doall_ok
+      (Printf.sprintf "(ratio %.2fx)" (ratio (List.hd Loopnest.sweep_names)))
+  in
+  let ok3 =
+    check "doacross beats superscalar at span >= 4" far_ok
+      "(speedup <= 0 on a far-carry nest)"
+  in
+  let ok4 =
+    check "doacross speedup degrades monotonically with span" monotone_ok
+      (String.concat " "
+         (List.map (Printf.sprintf "%+.1f%%") doacross_speedups))
+  in
+  let all_ok = ok1 && ok2 && ok3 && ok4 in
+  if !json_out <> "" then Sweep.save !json_out doc;
+  Printf.printf "loopnest smoke: %s\n" (if all_ok then "PASS" else "FAIL");
+  exit (if all_ok then 0 else 1)
+
+(* ------------------------------------------------------------------ *)
 
 let run_full () =
   let t_start = Unix.gettimeofday () in
@@ -737,7 +921,7 @@ let run_full () =
   let specs = full_specs () in
   Printf.printf "\nSweeping %d runs over %d workloads (%d jobs)...\n%!"
     (List.length specs)
-    (List.length Pf_workloads.Suite.names)
+    (List.length Pf_workloads.Suite.spec_names)
     !jobs;
   let progress ~done_ ~total =
     Printf.eprintf "\r  sweep: %d/%d" done_ total;
@@ -819,4 +1003,7 @@ let run_full () =
   if not !no_micro then microbenches ctx prepared;
   Printf.printf "\nTotal bench time: %.1f s\n" (Unix.gettimeofday () -. t_start)
 
-let () = if !smoke then run_smoke () else run_full ()
+let () =
+  if !loopnest then if !smoke then run_loopnest_smoke () else run_loopnest ()
+  else if !smoke then run_smoke ()
+  else run_full ()

@@ -34,11 +34,11 @@ let print_finding (f : Driver.finding) =
     f.repro.Repro.detail;
   Option.iter (Format.printf "  repro written to %s@.") f.path
 
-let run_campaign ~gen ~seed ~count ~policies ~corpus ~time_budget
+let run_campaign ~gen ~seed ~count ~policies ~loopnest ~corpus ~time_budget
     ~shrink_budget =
   let summary =
-    Driver.run ~gen ~seed ~count ?policies ~corpus_dir:corpus ?time_budget
-      ~shrink_budget ()
+    Driver.run ~gen ~seed ~count ?policies ~mini_loopnest:loopnest
+      ~corpus_dir:corpus ?time_budget ~shrink_budget ()
   in
   List.iter print_finding summary.Driver.findings;
   Format.printf "fuzz %s: %d programs (seed %d): %s@." (Repro.gen_name gen)
@@ -48,7 +48,8 @@ let run_campaign ~gen ~seed ~count ~policies ~corpus ~time_budget
     | n -> Printf.sprintf "%d FAILURE%s" n (if n = 1 then "" else "S"));
   summary.Driver.findings = []
 
-let run_cmd gen_str seed count policy_names corpus time_budget shrink_budget =
+let run_cmd gen_str seed count policy_names loopnest corpus time_budget
+    shrink_budget =
   match
     (match gen_str with
     | "mini" -> Ok [ Repro.Mini ]
@@ -70,8 +71,8 @@ let run_cmd gen_str seed count policy_names corpus time_budget shrink_budget =
           let ok =
             List.for_all
               (fun gen ->
-                run_campaign ~gen ~seed ~count ~policies ~corpus ~time_budget
-                  ~shrink_budget)
+                run_campaign ~gen ~seed ~count ~policies ~loopnest ~corpus
+                  ~time_budget ~shrink_budget)
               gens
           in
           if ok then `Ok () else `Error (false, "oracle failures found"))
@@ -142,12 +143,21 @@ let run_t =
       & info [ "shrink-budget" ] ~docv:"TRIALS"
           ~doc:"Shrink-candidate trials per Mini finding.")
   in
+  let loopnest_t =
+    Arg.(
+      value & flag
+      & info [ "loopnest" ]
+          ~doc:
+            "Make the Mini frontend thread loop-nest-shaped fragments \
+             (bounded nests with cross-iteration array carries) through \
+             its programs, exercising the DOACROSS sync path.")
+  in
   Cmd.v
     (Cmd.info "run" ~doc:"Run a fuzzing campaign")
     Term.(
       ret
-        (const run_cmd $ gen_t $ seed_t $ count_t $ policy_t $ corpus_t
-       $ budget_t $ shrink_t))
+        (const run_cmd $ gen_t $ seed_t $ count_t $ policy_t $ loopnest_t
+       $ corpus_t $ budget_t $ shrink_t))
 
 let replay_t =
   let file_t =

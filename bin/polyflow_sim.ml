@@ -71,6 +71,7 @@ let run_cmd workload_name policy_str all_policies window json_out cpi_stack
           match policy with
           | Pf_core.Policy.No_spawn -> Pf_uarch.Config.superscalar
           | Pf_core.Policy.Adaptive -> Pf_uarch.Config.adaptive
+          | Pf_core.Policy.Doacross -> Pf_uarch.Config.doacross
           | _ -> Pf_uarch.Config.polyflow
         in
         (* observability: attach only the sinks asked for, so a plain
@@ -156,7 +157,7 @@ let run_cmd workload_name policy_str all_policies window json_out cpi_stack
           let policies =
             Pf_core.Policy.figure9_policies
             @ [ Pf_core.Policy.Rec_pred; Pf_core.Policy.Dmt;
-                Pf_core.Policy.Adaptive ]
+                Pf_core.Policy.Adaptive; Pf_core.Policy.Doacross ]
             @ List.filter
                 (fun p -> p <> Pf_core.Policy.Postdoms)
                 Pf_core.Policy.figure10_policies

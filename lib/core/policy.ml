@@ -6,6 +6,7 @@ type t =
   | Rec_pred
   | Dmt
   | Adaptive
+  | Doacross
 
 let select policy spawns =
   let keep categories =
@@ -21,21 +22,33 @@ let select policy spawns =
   (* every static spawn point, loop-iteration spawns included: the
      safety filter decides per region how far to trust each one *)
   | Adaptive -> spawns
+  (* DOACROSS: iteration-level spawning only — the loop back-edge spawn
+     points; cross-iteration memory carries are handled by the engine's
+     distance-aware sync plus the violation tracker *)
+  | Doacross -> keep [ Spawn_point.Loop_iter ]
 
 let uses_reconvergence_predictor = function
   | Rec_pred -> true
-  | No_spawn | Categories _ | Postdoms | Postdoms_minus _ | Dmt | Adaptive ->
+  | No_spawn | Categories _ | Postdoms | Postdoms_minus _ | Dmt | Adaptive
+  | Doacross ->
       false
 
 let uses_dmt_heuristics = function
   | Dmt -> true
   | No_spawn | Categories _ | Postdoms | Postdoms_minus _ | Rec_pred
-  | Adaptive ->
+  | Adaptive | Doacross ->
       false
 
 let uses_safety_filter = function
   | Adaptive -> true
-  | No_spawn | Categories _ | Postdoms | Postdoms_minus _ | Rec_pred | Dmt ->
+  | No_spawn | Categories _ | Postdoms | Postdoms_minus _ | Rec_pred | Dmt
+  | Doacross ->
+      false
+
+let uses_doacross_sync = function
+  | Doacross -> true
+  | No_spawn | Categories _ | Postdoms | Postdoms_minus _ | Rec_pred | Dmt
+  | Adaptive ->
       false
 
 let name = function
@@ -47,6 +60,7 @@ let name = function
   | Rec_pred -> "rec_pred"
   | Dmt -> "dmt"
   | Adaptive -> "adaptive"
+  | Doacross -> "doacross"
 
 let of_string s =
   let cat = Spawn_point.category_of_name in
@@ -56,6 +70,7 @@ let of_string s =
   | "rec_pred" -> Ok Rec_pred
   | "dmt" -> Ok Dmt
   | "adaptive" -> Ok Adaptive
+  | "doacross" -> Ok Doacross
   | _ when String.length s > 9 && String.sub s 0 9 = "postdoms-" -> (
       match cat (String.sub s 9 (String.length s - 9)) with
       | Some c -> Ok (Postdoms_minus c)
@@ -68,7 +83,7 @@ let of_string s =
         Error
           (Printf.sprintf
              "unknown policy %S (try: superscalar, loop, loopFT, procFT, \
-              hammock, other, postdoms, rec_pred, dmt, adaptive, \
+              hammock, other, postdoms, rec_pred, dmt, adaptive, doacross, \
               postdoms-<cat>, or combinations like loop+loopFT)"
              s))
 

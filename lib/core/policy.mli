@@ -21,6 +21,14 @@
       point is a candidate, but each one is classified by the
       {!Safety_filter} (bypass / conservative / optimistic) and the
       engine runs the optimistic regions under a modelled
+      memory-dependence violation tracker.
+    - [Doacross]: DOACROSS-style iteration spawning. Only the loop
+      back-edge ([Loop_iter]) spawn points are selected — each live
+      task is one loop iteration — and the engine applies a
+      distance-aware synchronisation: cross-task loads whose producing
+      store lies within [Config.doacross_sync_distance] preceding
+      tasks are force-synchronised (the classic DOACROSS post/wait on
+      near carries), while longer-distance carries speculate under the
       memory-dependence violation tracker. *)
 
 type t =
@@ -31,6 +39,7 @@ type t =
   | Rec_pred
   | Dmt
   | Adaptive
+  | Doacross
 
 (** Static spawn points enabled by the policy. *)
 val select : t -> Spawn_point.t list -> Spawn_point.t list
@@ -45,14 +54,18 @@ val uses_dmt_heuristics : t -> bool
     {!Safety_filter}? *)
 val uses_safety_filter : t -> bool
 
+(** Does the policy force-synchronise near-distance cross-iteration
+    loads (the DOACROSS post/wait discipline)? *)
+val uses_doacross_sync : t -> bool
+
 (** Short display name, e.g. ["postdoms"], ["loop+loopFT"]. *)
 val name : t -> string
 
 (** Parse a {!name}-style policy string: ["superscalar"] (or
     ["baseline"]), ["postdoms"], ["rec_pred"], ["dmt"], ["adaptive"],
-    ["postdoms-<category>"], a category name, or a [+]-joined category
-    combination. [Error] carries a usage message listing the accepted
-    forms. *)
+    ["doacross"], ["postdoms-<category>"], a category name, or a
+    [+]-joined category combination. [Error] carries a usage message
+    listing the accepted forms. *)
 val of_string : string -> (t, string) result
 
 (** The policy line-ups of each figure. *)

@@ -20,10 +20,10 @@ let with_pf_check f =
     ~finally:(fun () -> Unix.putenv "PF_CHECK" (Option.value old ~default:""))
     f
 
-let check_one ~gen ?policies ~shrink_budget s =
+let check_one ~gen ?policies ~loopnest ~shrink_budget s =
   match (gen : Repro.gen_kind) with
   | Repro.Mini -> (
-      let p = Gen_mini.generate ~seed:s in
+      let p = Gen_mini.generate ~loopnest ~seed:s () in
       match Oracle.check_mini ?policies p with
       | Oracle.Pass -> None
       | Oracle.Fail f ->
@@ -43,8 +43,8 @@ let check_one ~gen ?policies ~shrink_budget s =
       | Oracle.Pass -> None
       | Oracle.Fail f -> Some (f, Format.asprintf "%a" Pf_isa.Program.pp p))
 
-let run ~gen ~seed ~count ?policies ?corpus_dir ?time_budget
-    ?(shrink_budget = 500) ?progress () =
+let run ~gen ~seed ~count ?policies ?(mini_loopnest = false) ?corpus_dir
+    ?time_budget ?(shrink_budget = 500) ?progress () =
   let t0 = Unix.gettimeofday () in
   let over_budget () =
     match time_budget with
@@ -58,7 +58,9 @@ let run ~gen ~seed ~count ?policies ?corpus_dir ?time_budget
          for index = 0 to count - 1 do
            if over_budget () then raise Exit;
            let s = sub_seed ~seed ~index in
-           (match check_one ~gen ?policies ~shrink_budget s with
+           (match
+              check_one ~gen ?policies ~loopnest:mini_loopnest ~shrink_budget s
+            with
            | None -> ()
            | Some (f, program_text) ->
                let repro =
@@ -87,7 +89,7 @@ let replay ?policies path =
               Ok (r, with_pf_check (fun () -> Oracle.check_mini ?policies p)))
       | Repro.Mini ->
           let s = sub_seed ~seed:r.Repro.seed ~index:r.Repro.index in
-          let p = Gen_mini.generate ~seed:s in
+          let p = Gen_mini.generate ~seed:s () in
           Ok (r, with_pf_check (fun () -> Oracle.check_mini ?policies p))
       | Repro.Asm ->
           let s = sub_seed ~seed:r.Repro.seed ~index:r.Repro.index in

@@ -26,14 +26,17 @@ val sub_seed : seed:int -> index:int -> int
 
 (** [run ~gen ~seed ~count ()] checks [count] generated programs.
     [time_budget] (seconds, default none) stops the campaign early;
-    [corpus_dir] persists findings; [shrink_budget] caps shrink trials
-    per finding (default 500); [progress] is called after each program
-    with its index. *)
+    [mini_loopnest] (default false) makes the Mini frontend thread
+    loop-nest-shaped fragments with cross-iteration carries through its
+    programs (see {!Gen_mini.generate}); [corpus_dir] persists findings;
+    [shrink_budget] caps shrink trials per finding (default 500);
+    [progress] is called after each program with its index. *)
 val run :
   gen:Repro.gen_kind ->
   seed:int ->
   count:int ->
   ?policies:Pf_core.Policy.t list ->
+  ?mini_loopnest:bool ->
   ?corpus_dir:string ->
   ?time_budget:float ->
   ?shrink_budget:int ->

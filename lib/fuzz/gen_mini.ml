@@ -136,7 +136,44 @@ let leaf_func ctx =
   in
   { name = "leaf"; params = [ "x" ]; body = body @ [ Return (Some (expr ctx 1)) ] }
 
-let generate ~seed =
+(* A loop-nest-shaped fragment in the image of the Loopnest workload
+   family (lib/workloads/loopnest.ml): an inner loop whose iteration
+   [k] stores to array slot [k] and reads the stores of the [d]
+   previous iterations — cross-iteration memory carries at distances
+   1..[d] ([d] = 0 is a DOALL loop) — under an optional bounded outer
+   loop. Slot addresses go through the usual mask, so the carries wrap
+   the array rather than escaping it, and every loop runs a dedicated
+   fresh counter for a bounded trip count, preserving the
+   termination-by-construction contract. *)
+let loopnest_stmts ctx =
+  let d = Rng.int ctx.rng 5 in
+  let inner ~trip =
+    let k = fresh_k ctx in
+    let body =
+      [ Let ("acc_", ld8 (slot (v k +: expr ctx 1)));
+        (* a data-dependent hammock on the gathered value, as in the
+           workload family's iteration bodies *)
+        If
+          ( (v "acc_" &: i 3) ==: i 0,
+            [ Set ("acc_", v "acc_" +: expr ctx 1) ],
+            [ Set ("acc_", v "acc_" ^: expr ctx 1) ] ) ]
+      @ List.init d (fun j ->
+            Set ("acc_", (v "acc_" *: i 3) +: ld8 (slot (v k -: i (j + 1)))))
+      @ [ Store (I.D, slot (v k), v "acc_");
+          Set (pick ctx [ "g1"; "g2" ], v "acc_" ^: v k);
+          Set (k, v k +: i 1) ]
+    in
+    [ Let (k, i 0); While (v k <: i trip, body) ]
+  in
+  if Rng.bool_p ctx.rng 0.5 then
+    let r = fresh_k ctx in
+    let rows = 2 + Rng.int ctx.rng 3 in
+    let trip = 4 + Rng.int ctx.rng 9 in
+    [ Let (r, i 0);
+      While (v r <: i rows, inner ~trip @ [ Set (r, v r +: i 1) ]) ]
+  else inner ~trip:(8 + Rng.int ctx.rng 17)
+
+let generate ?(loopnest = false) ~seed () =
   let ctx =
     { rng = Rng.create ~seed;
       loops = 0;
@@ -145,6 +182,7 @@ let generate ~seed =
   let n_top = 4 + Rng.int ctx.rng 6 in
   let body =
     [ Let ("a", small ctx); Let ("b", small ctx); Let ("c", small ctx) ]
+    @ (if loopnest then loopnest_stmts ctx else [])
     @ List.init n_top (fun _ -> stmt ctx ~in_loop:false ~depth:2)
     @ [ Set
           ( "result",

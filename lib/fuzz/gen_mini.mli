@@ -18,4 +18,12 @@
 (** Number of 8-byte slots in the global array ["arr"]. *)
 val arr_slots : int
 
-val generate : seed:int -> Pf_mini.Ast.program
+(** [generate ~seed ()] is the classic mixed-statement program.
+    [~loopnest:true] additionally threads a loop-nest-shaped fragment
+    through the program — a bounded inner loop with cross-iteration
+    array carries at a random distance 0..4, optionally nested under an
+    outer loop, in the image of the {!Pf_workloads.Loopnest} family —
+    so campaigns exercise the DOACROSS sync path. The default is the
+    classic generator, byte-identical to what it produced before the
+    flag existed. *)
+val generate : ?loopnest:bool -> seed:int -> unit -> Pf_mini.Ast.program

@@ -20,7 +20,8 @@ let all_policies =
     Policy.Categories [ Spawn_point.Loop_iter; Spawn_point.Proc_ft ];
     Policy.Rec_pred;
     Policy.Dmt;
-    Policy.Adaptive ]
+    Policy.Adaptive;
+    Policy.Doacross ]
 
 let max_instrs = 6_000_000
 let interp_fuel = 20_000_000
@@ -110,30 +111,40 @@ let check_one_policy prep ~n ~policy =
                      name v metric })
       | _ -> ())
     (counter_fields m);
-  (* memory-tracker oracles. For every fixed-level policy the tracker
-     and safety filter must stay inert: their counters all zero. For
-     [Adaptive] the CPI stack must still sum exactly to run cycles with
+  (* memory-tracker oracles. The safety filter belongs to [Adaptive]
+     alone: its level counters must be zero for every other policy. The
+     tracker runs for both [Adaptive] and [Doacross] (whose default
+     config turns it on for far iteration carries); any policy using
+     neither must keep [mem_violations] at zero too. For the tracker
+     policies the CPI stack must still sum exactly to run cycles with
      the [mem_violation] row included (the obs-cpi-sum check above
      already walked every row), every violation must have produced a
      squash, and a PF_CHECK'd re-run must reproduce the same metrics
      while the engine self-check validates the CAM's live counts and
      that freed task slots hold no stale entries after each squash. *)
   let counter name = Option.value ~default:0 (Counters.find counters name) in
-  if not (Policy.uses_safety_filter policy) then
-    List.iter
-      (fun name ->
-        if counter name <> 0 then
-          raise
-            (Stop
-               { oracle = "mem-tracker-isolation";
-                 detail =
-                   Printf.sprintf
-                     "policy %s: counter %s = %d but the policy runs at a \
-                      fixed speculation level"
-                     pname name (counter name) }))
-      [ "mem_violations"; "level_bypass"; "level_conservative";
-        "level_optimistic" ]
-  else begin
+  let uses_tracker =
+    Policy.uses_safety_filter policy || Policy.uses_doacross_sync policy
+  in
+  let zero_counters =
+    (if uses_tracker then [] else [ "mem_violations" ])
+    @
+    if Policy.uses_safety_filter policy then []
+    else [ "level_bypass"; "level_conservative"; "level_optimistic" ]
+  in
+  List.iter
+    (fun name ->
+      if counter name <> 0 then
+        raise
+          (Stop
+             { oracle = "mem-tracker-isolation";
+               detail =
+                 Printf.sprintf
+                   "policy %s: counter %s = %d but the policy runs at a \
+                    fixed speculation level"
+                   pname name (counter name) }))
+    zero_counters;
+  if uses_tracker then begin
     if counter "mem_violations" > m.Metrics.squashes then
       raise
         (Stop

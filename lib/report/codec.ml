@@ -110,6 +110,11 @@ let config_to_json (c : Config.t) =
          else []);
         (if c.Config.safety_serial_ops <> d.Config.safety_serial_ops then
            [ ("safety_serial_ops", Json.Int c.Config.safety_serial_ops) ]
+         else []);
+        (if c.Config.doacross_sync_distance <> d.Config.doacross_sync_distance
+         then
+           [ ( "doacross_sync_distance",
+               Json.Int c.Config.doacross_sync_distance ) ]
          else []) ]
   in
   Json.Obj
@@ -198,7 +203,12 @@ let config_of_json j : Config.t =
     safety_serial_ops =
       (match Json.member_opt "safety_serial_ops" j with
       | Some v -> Json.to_int v
-      | None -> Config.superscalar.Config.safety_serial_ops) }
+      | None -> Config.superscalar.Config.safety_serial_ops);
+    (* additive field (DOACROSS PR), same only-when-non-default rule *)
+    doacross_sync_distance =
+      (match Json.member_opt "doacross_sync_distance" j with
+      | Some v -> Json.to_int v
+      | None -> Config.superscalar.Config.doacross_sync_distance) }
 
 (* ---- CSV ---- *)
 

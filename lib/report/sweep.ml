@@ -141,6 +141,7 @@ let resolve_config (s : spec) =
   | Some c, _ -> c
   | None, Pf_core.Policy.No_spawn -> Config.superscalar
   | None, Pf_core.Policy.Adaptive -> Config.adaptive
+  | None, Pf_core.Policy.Doacross -> Config.doacross
   | None, _ -> Config.polyflow
 
 type exec_stats = {

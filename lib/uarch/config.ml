@@ -30,6 +30,7 @@ type t = {
   safety_store_pct : int;
   safety_branch_pct : int;
   safety_serial_ops : int;
+  doacross_sync_distance : int;
 }
 
 let superscalar =
@@ -63,10 +64,12 @@ let superscalar =
     mem_sync_threshold = 1;
     safety_store_pct = 15;
     safety_branch_pct = 7;
-    safety_serial_ops = 1 }
+    safety_serial_ops = 1;
+    doacross_sync_distance = 1 }
 
 let polyflow = { superscalar with fetch_tasks_per_cycle = 2; max_tasks = 8 }
 let adaptive = { polyflow with mem_tracker = true }
+let doacross = { polyflow with mem_tracker = true }
 
 let l1i_line_mask =
   lnot (Pf_cache.Hierarchy.default_params.Pf_cache.Hierarchy.l1i_line - 1)

@@ -77,6 +77,14 @@ type t = {
       (** safety filter: number of serializing operations (divides,
           remainders, indirect jumps) in the scanned region at which
           the spawn is bypassed entirely. *)
+  doacross_sync_distance : int;
+      (** DOACROSS near-carry window: under the [Doacross] policy a
+          cross-task load whose producing store lies within this many
+          immediately-preceding live tasks is force-synchronised (the
+          classic post/wait on near iteration carries); carries from
+          further back speculate under the tracker. Only consulted
+          when the policy enables the doacross sync, so the default
+          changes no existing timing. *)
 }
 
 (** The 8-wide superscalar baseline. *)
@@ -88,6 +96,11 @@ val polyflow : t
 (** {!polyflow} with the memory-dependence tracker on — the default
     configuration of the [Adaptive] policy. *)
 val adaptive : t
+
+(** The default configuration of the [Doacross] policy: {!polyflow}
+    with the memory-dependence tracker on (far carries speculate under
+    it) and the default one-task near-carry sync window. *)
+val doacross : t
 
 (** Address mask selecting the L1 I-cache line of a PC, derived once
     from {!Pf_cache.Hierarchy.default_params} (the fetch stage applies

@@ -6,6 +6,7 @@ type input = {
   hints : Pf_core.Hint_cache.t;
   use_rec_pred : bool;
   use_dmt : bool;
+  use_doacross : bool;
   safety : Pf_core.Safety_filter.t option;
   sink : Pf_obs.Sink.t;
   counters : Pf_obs.Counters.t option;
@@ -303,6 +304,12 @@ let simulate_core ~yield ~stripe input =
      [use_tracker] guards every touch point, so engine-3 timing is
      bit-exact with the tracker disabled. *)
   let use_tracker = cfg.Config.mem_tracker in
+  (* DOACROSS near-carry synchronisation (docs/ENGINE.md): when on, a
+     cross-task load whose producing store lies within
+     [doacross_sync_distance] immediately-preceding live tasks is
+     force-synchronised at dispatch; far carries speculate under the
+     tracker. Off for every other policy, so timing is untouched. *)
+  let use_doacross = input.use_doacross in
   let tracker =
     if use_tracker then
       Mem_tracker.create ~max_tasks:cfg.Config.max_tasks
@@ -929,9 +936,17 @@ let simulate_core ~yield ~stripe input =
           let mem_divert =
             if kind.(i) = k_load && cross i memsrc.(i) then
               (* a conservative-level task synchronises every cross-task
-                 load; optimistic tasks ask the store-set predictor *)
+                 load; a doacross task force-synchronises near-iteration
+                 carries (producer within the sync-distance window of
+                 preceding tasks); optimistic tasks ask the store-set
+                 predictor *)
               if
                 t.level = 1
+                || (use_doacross
+                   && memsrc.(i)
+                      >= (ring_at
+                            (max 0 (k - cfg.Config.doacross_sync_distance)))
+                           .start_idx)
                 || Pf_predict.Store_sets.predict_sync store_sets
                      ~load_pc:pc.(i)
               then begin

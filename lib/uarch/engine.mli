@@ -54,6 +54,14 @@ type input = {
   use_rec_pred : bool;              (** add dynamic reconvergence spawns *)
   use_dmt : bool;                   (** add DMT fall-through heuristics
                                         (Section 5 related work) *)
+  use_doacross : bool;
+      (** DOACROSS near-carry sync (the [doacross] policy): cross-task
+          loads whose producing store lies within
+          [Config.doacross_sync_distance] immediately-preceding live
+          tasks are force-synchronised at dispatch (the classic
+          post/wait on near iteration carries); carries from further
+          back speculate under the memory-dependence tracker. [false]
+          leaves dispatch timing untouched for every other policy. *)
   safety : Pf_core.Safety_filter.t option;
       (** when present (the [adaptive] policy), every spawn target is
           classified before spawning: bypass regions are never spawned,

@@ -30,6 +30,7 @@ let to_input ~sink ~counters ~config prepared ~policy =
     | Some c, _ -> c
     | None, Pf_core.Policy.No_spawn -> Config.superscalar
     | None, Pf_core.Policy.Adaptive -> Config.adaptive
+    | None, Pf_core.Policy.Doacross -> Config.doacross
     | None, _ -> Config.polyflow
   in
   let selected = Pf_core.Policy.select policy prepared.all_spawns in
@@ -49,6 +50,7 @@ let to_input ~sink ~counters ~config prepared ~policy =
     hints = Pf_core.Hint_cache.of_spawns selected;
     use_rec_pred = Pf_core.Policy.uses_reconvergence_predictor policy;
     use_dmt = Pf_core.Policy.uses_dmt_heuristics policy;
+    use_doacross = Pf_core.Policy.uses_doacross_sync policy;
     safety;
     sink;
     counters }

@@ -3,6 +3,12 @@ let builders =
     W_gzip.workload; W_mcf.workload; W_parser.workload; W_perlbmk.workload;
     W_twolf.workload; W_vortex.workload; W_vpr_place.workload;
     W_vpr_route.workload ]
+  @ Loopnest.registered
+
+(* The paper's figures sweep only the 12 SPEC-shaped kernels; the
+   loop-nest family has its own figure (bench --loopnest). *)
+let spec_names =
+  List.filteri (fun i _ -> i < 12) (List.map (fun f -> (f ()).Workload.name) builders)
 
 let all () = List.map (fun f -> f ()) builders
 

@@ -1,9 +1,16 @@
 (** The benchmark suite: one workload per SPEC2000 integer benchmark the
-    paper evaluates, in the paper's figure order. *)
+    paper evaluates, in the paper's figure order, followed by the
+    registered members of the parameterized loop-nest family
+    ({!Loopnest}). *)
 
 val all : unit -> Workload.t list
 
-(** Lookup by name ("twolf", "vpr.route", ...). *)
+(** Lookup by name ("twolf", "vpr.route", "loopnest.d4.unit.n1", ...). *)
 val find : string -> Workload.t option
 
 val names : string list
+
+(** Just the 12 SPEC-shaped kernels — the paper-figure grid. The
+    loop-nest members are swept by their own figure
+    ([bench/main.exe --loopnest]). *)
+val spec_names : string list

@@ -28,6 +28,7 @@ let all_policies = Pf_fuzz.Oracle.all_policies
 let base_config = function
   | Policy.No_spawn -> Config.superscalar
   | Policy.Adaptive -> Config.adaptive
+  | Policy.Doacross -> Config.doacross
   | _ -> Config.polyflow
 
 type observed = {
@@ -129,7 +130,7 @@ let holds_for ~gen ~seed =
   let program =
     match gen with
     | `Mini ->
-        (Pf_fuzz.Gen_mini.generate ~seed |> Pf_mini.Compile.compile)
+        (Pf_fuzz.Gen_mini.generate ~seed () |> Pf_mini.Compile.compile)
           .Pf_mini.Compile.program
     | `Asm -> Pf_fuzz.Gen_asm.generate ~seed
   in
@@ -222,6 +223,7 @@ let test_degenerate () =
                (Pf_core.Policy.select Policy.Postdoms prep.Run.all_spawns);
            use_rec_pred = false;
            use_dmt = false;
+           use_doacross = false;
            safety = None;
            sink = Sink.null;
            counters = None };
@@ -234,6 +236,7 @@ let test_degenerate () =
                (Pf_core.Policy.select Policy.Postdoms other.Run.all_spawns);
            use_rec_pred = false;
            use_dmt = false;
+           use_doacross = false;
            safety = None;
            sink = Sink.null;
            counters = None } |]

@@ -15,7 +15,30 @@ let test_gen_mini_deterministic () =
     Alcotest.(check bool)
       (Printf.sprintf "seed %d reproduces" seed)
       true
-      (Gen_mini.generate ~seed = Gen_mini.generate ~seed)
+      (Gen_mini.generate ~seed () = Gen_mini.generate ~seed ())
+  done
+
+let test_gen_mini_loopnest_mode () =
+  for seed = 1 to 10 do
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d reproduces under --loopnest" seed)
+      true
+      (Gen_mini.generate ~loopnest:true ~seed ()
+      = Gen_mini.generate ~loopnest:true ~seed ());
+    (* the flag changes what is generated... *)
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d loop-nest shape differs from classic" seed)
+      false
+      (Gen_mini.generate ~loopnest:true ~seed () = Gen_mini.generate ~seed ())
+  done;
+  (* ...and the default stays the classic generator: same seed, same
+     program, so committed repro files and the fixed-seed smoke keep
+     their meaning *)
+  for seed = 1 to 10 do
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d default unchanged" seed)
+      true
+      (Gen_mini.generate ?loopnest:None ~seed () = Gen_mini.generate ~seed ())
   done
 
 let test_gen_asm_deterministic () =
@@ -40,7 +63,7 @@ let test_sub_seeds_distinct () =
    and the compiled program halts within the instruction budget. *)
 let test_gen_mini_well_formed () =
   for seed = 1 to 25 do
-    let p = Gen_mini.generate ~seed in
+    let p = Gen_mini.generate ~seed () in
     let compiled = Pf_mini.Compile.compile p in
     let out = Pf_mini.Interp.run ~fuel:20_000_000 p in
     Alcotest.(check bool)
@@ -75,7 +98,7 @@ let test_gen_asm_halts () =
 
 let test_mini_text_round_trip () =
   for seed = 1 to 15 do
-    let p = Gen_mini.generate ~seed in
+    let p = Gen_mini.generate ~seed () in
     match Mini_text.parse (Mini_text.to_string p) with
     | Ok p' ->
         Alcotest.(check bool)
@@ -107,11 +130,27 @@ let test_repro_round_trip () =
 
 let test_oracle_mini_passes () =
   for seed = 101 to 104 do
-    match Oracle.check_mini ~window:4_000 (Gen_mini.generate ~seed) with
+    match Oracle.check_mini ~window:4_000 (Gen_mini.generate ~seed ()) with
     | Oracle.Pass -> ()
     | Oracle.Fail f ->
         Alcotest.fail
           (Printf.sprintf "seed %d: %s: %s" seed f.Oracle.oracle
+             f.Oracle.detail)
+  done
+
+(* loop-nest-shaped programs (cross-iteration carries) through the same
+   differential oracles — the engine side includes Doacross via
+   Oracle.all_policies, so the distance-aware sync path is exercised *)
+let test_oracle_mini_loopnest_passes () =
+  for seed = 101 to 104 do
+    match
+      Oracle.check_mini ~window:4_000
+        (Gen_mini.generate ~loopnest:true ~seed ())
+    with
+    | Oracle.Pass -> ()
+    | Oracle.Fail f ->
+        Alcotest.fail
+          (Printf.sprintf "loopnest seed %d: %s: %s" seed f.Oracle.oracle
              f.Oracle.detail)
   done
 
@@ -185,7 +224,7 @@ let test_shrinker_preserves_oracle () =
   let p =
     (* find a seed whose program contains a store *)
     let rec find seed =
-      let p = Gen_mini.generate ~seed in
+      let p = Gen_mini.generate ~seed () in
       if has_store p then p else find (seed + 1)
     in
     find 1
@@ -236,6 +275,8 @@ let test_unsigned_load_regression () =
 let suite =
   [ ( "fuzz.generators",
       [ case "mini generator deterministic" test_gen_mini_deterministic;
+        case "mini loop-nest mode deterministic, additive"
+          test_gen_mini_loopnest_mode;
         case "asm generator deterministic" test_gen_asm_deterministic;
         case "campaign sub-seeds distinct" test_sub_seeds_distinct;
         case "mini programs well-formed" test_gen_mini_well_formed;
@@ -245,6 +286,7 @@ let suite =
         case "repro file round-trips" test_repro_round_trip ] );
     ( "fuzz.oracles",
       [ case "mini oracle passes" test_oracle_mini_passes;
+        case "mini loop-nest oracle passes" test_oracle_mini_loopnest_passes;
         case "asm oracle passes" test_oracle_asm_passes ] );
     ( "fuzz.shrinker",
       [ case "preserves the oracle, minimises" test_shrinker_preserves_oracle ] );

@@ -41,7 +41,11 @@ let cases =
     (* three-level adaptive speculation with the memory-dependence
        tracker on (its per-policy default config) — recorded when the
        subsystem landed *)
-    ("adaptive", Pf_core.Policy.Adaptive, None) ]
+    ("adaptive", Pf_core.Policy.Adaptive, None);
+    (* back-edge-only spawning with distance-aware memory sync (its
+       per-policy default, Config.doacross) — recorded when the
+       loop-nest family landed *)
+    ("doacross", Pf_core.Policy.Doacross, None) ]
 
 let golden =
   [ "gzip|superscalar|{\"instructions\":4000,\"cycles\":2400,\"ipc\":1.6666666666666667,\"branch_mispredicts\":66,\"indirect_mispredicts\":0,\"return_mispredicts\":0,\"spawns\":[],\"squashes\":0,\"squashed_instrs\":0,\"diverted\":0,\"tasks_spawned\":0,\"max_live_tasks\":1,\"l1i_misses\":4,\"l1d_misses\":10,\"l2_misses\":10,\"stall_frontend\":583,\"stall_divert\":0,\"stall_sched\":55,\"stall_exec\":758}";
@@ -54,6 +58,7 @@ let golden =
     "gzip|postdoms@no-rob-shares|{\"instructions\":4000,\"cycles\":1926,\"ipc\":2.0768431983385254,\"branch_mispredicts\":69,\"indirect_mispredicts\":0,\"return_mispredicts\":0,\"spawns\":[{\"category\":\"other\",\"count\":14},{\"category\":\"hammock\",\"count\":40}],\"squashes\":0,\"squashed_instrs\":0,\"diverted\":33,\"tasks_spawned\":54,\"max_live_tasks\":8,\"l1i_misses\":4,\"l1d_misses\":10,\"l2_misses\":10,\"stall_frontend\":472,\"stall_divert\":0,\"stall_sched\":34,\"stall_exec\":622}";
     "gzip|postdoms@no-event-skip|{\"instructions\":4000,\"cycles\":1881,\"ipc\":2.126528442317916,\"branch_mispredicts\":62,\"indirect_mispredicts\":0,\"return_mispredicts\":0,\"spawns\":[{\"category\":\"other\",\"count\":15},{\"category\":\"hammock\",\"count\":41}],\"squashes\":0,\"squashed_instrs\":0,\"diverted\":36,\"tasks_spawned\":56,\"max_live_tasks\":8,\"l1i_misses\":4,\"l1d_misses\":10,\"l2_misses\":10,\"stall_frontend\":470,\"stall_divert\":0,\"stall_sched\":33,\"stall_exec\":591}";
     "gzip|adaptive|{\"instructions\":4000,\"cycles\":1457,\"ipc\":2.7453671928620453,\"branch_mispredicts\":59,\"indirect_mispredicts\":0,\"return_mispredicts\":0,\"spawns\":[{\"category\":\"loop\",\"count\":40},{\"category\":\"hammock\",\"count\":19}],\"squashes\":0,\"squashed_instrs\":0,\"diverted\":210,\"tasks_spawned\":59,\"max_live_tasks\":8,\"l1i_misses\":4,\"l1d_misses\":10,\"l2_misses\":10,\"stall_frontend\":365,\"stall_divert\":0,\"stall_sched\":14,\"stall_exec\":451}";
+    "gzip|doacross|{\"instructions\":4000,\"cycles\":1748,\"ipc\":2.288329519450801,\"branch_mispredicts\":78,\"indirect_mispredicts\":0,\"return_mispredicts\":0,\"spawns\":[{\"category\":\"loop\",\"count\":57}],\"squashes\":0,\"squashed_instrs\":0,\"diverted\":345,\"tasks_spawned\":57,\"max_live_tasks\":8,\"l1i_misses\":4,\"l1d_misses\":10,\"l2_misses\":10,\"stall_frontend\":449,\"stall_divert\":0,\"stall_sched\":30,\"stall_exec\":556}";
     "mcf|superscalar|{\"instructions\":4000,\"cycles\":11043,\"ipc\":0.3622204111201666,\"branch_mispredicts\":164,\"indirect_mispredicts\":0,\"return_mispredicts\":0,\"spawns\":[],\"squashes\":0,\"squashed_instrs\":0,\"diverted\":0,\"tasks_spawned\":0,\"max_live_tasks\":1,\"l1i_misses\":2,\"l1d_misses\":130,\"l2_misses\":113,\"stall_frontend\":955,\"stall_divert\":0,\"stall_sched\":147,\"stall_exec\":8554}";
     "mcf|postdoms|{\"instructions\":4000,\"cycles\":5988,\"ipc\":0.6680026720106881,\"branch_mispredicts\":164,\"indirect_mispredicts\":0,\"return_mispredicts\":0,\"spawns\":[{\"category\":\"hammock\",\"count\":144}],\"squashes\":0,\"squashed_instrs\":0,\"diverted\":690,\"tasks_spawned\":144,\"max_live_tasks\":8,\"l1i_misses\":2,\"l1d_misses\":130,\"l2_misses\":113,\"stall_frontend\":635,\"stall_divert\":0,\"stall_sched\":89,\"stall_exec\":4238}";
     "mcf|loopFT+procFT|{\"instructions\":4000,\"cycles\":11043,\"ipc\":0.3622204111201666,\"branch_mispredicts\":164,\"indirect_mispredicts\":0,\"return_mispredicts\":0,\"spawns\":[],\"squashes\":0,\"squashed_instrs\":0,\"diverted\":0,\"tasks_spawned\":0,\"max_live_tasks\":1,\"l1i_misses\":2,\"l1d_misses\":130,\"l2_misses\":113,\"stall_frontend\":955,\"stall_divert\":0,\"stall_sched\":147,\"stall_exec\":8554}";
@@ -63,7 +68,21 @@ let golden =
     "mcf|postdoms@split|{\"instructions\":4000,\"cycles\":5988,\"ipc\":0.6680026720106881,\"branch_mispredicts\":164,\"indirect_mispredicts\":0,\"return_mispredicts\":0,\"spawns\":[{\"category\":\"hammock\",\"count\":144}],\"squashes\":0,\"squashed_instrs\":0,\"diverted\":690,\"tasks_spawned\":144,\"max_live_tasks\":8,\"l1i_misses\":2,\"l1d_misses\":130,\"l2_misses\":113,\"stall_frontend\":635,\"stall_divert\":0,\"stall_sched\":89,\"stall_exec\":4238}";
     "mcf|postdoms@no-rob-shares|{\"instructions\":4000,\"cycles\":5988,\"ipc\":0.6680026720106881,\"branch_mispredicts\":164,\"indirect_mispredicts\":0,\"return_mispredicts\":0,\"spawns\":[{\"category\":\"hammock\",\"count\":144}],\"squashes\":0,\"squashed_instrs\":0,\"diverted\":690,\"tasks_spawned\":144,\"max_live_tasks\":8,\"l1i_misses\":2,\"l1d_misses\":130,\"l2_misses\":113,\"stall_frontend\":635,\"stall_divert\":0,\"stall_sched\":89,\"stall_exec\":4238}";
     "mcf|postdoms@no-event-skip|{\"instructions\":4000,\"cycles\":5988,\"ipc\":0.6680026720106881,\"branch_mispredicts\":164,\"indirect_mispredicts\":0,\"return_mispredicts\":0,\"spawns\":[{\"category\":\"hammock\",\"count\":144}],\"squashes\":0,\"squashed_instrs\":0,\"diverted\":690,\"tasks_spawned\":144,\"max_live_tasks\":8,\"l1i_misses\":2,\"l1d_misses\":130,\"l2_misses\":113,\"stall_frontend\":635,\"stall_divert\":0,\"stall_sched\":89,\"stall_exec\":4238}";
-    "mcf|adaptive|{\"instructions\":4000,\"cycles\":10417,\"ipc\":0.3839877123932034,\"branch_mispredicts\":138,\"indirect_mispredicts\":0,\"return_mispredicts\":0,\"spawns\":[{\"category\":\"loop\",\"count\":97},{\"category\":\"hammock\",\"count\":4}],\"squashes\":0,\"squashed_instrs\":0,\"diverted\":1141,\"tasks_spawned\":101,\"max_live_tasks\":8,\"l1i_misses\":2,\"l1d_misses\":130,\"l2_misses\":113,\"stall_frontend\":604,\"stall_divert\":0,\"stall_sched\":80,\"stall_exec\":8467}" ]
+    "mcf|adaptive|{\"instructions\":4000,\"cycles\":10417,\"ipc\":0.3839877123932034,\"branch_mispredicts\":138,\"indirect_mispredicts\":0,\"return_mispredicts\":0,\"spawns\":[{\"category\":\"loop\",\"count\":97},{\"category\":\"hammock\",\"count\":4}],\"squashes\":0,\"squashed_instrs\":0,\"diverted\":1141,\"tasks_spawned\":101,\"max_live_tasks\":8,\"l1i_misses\":2,\"l1d_misses\":130,\"l2_misses\":113,\"stall_frontend\":604,\"stall_divert\":0,\"stall_sched\":80,\"stall_exec\":8467}";
+    "mcf|doacross|{\"instructions\":4000,\"cycles\":10002,\"ipc\":0.39992001599680066,\"branch_mispredicts\":134,\"indirect_mispredicts\":0,\"return_mispredicts\":0,\"spawns\":[{\"category\":\"loop\",\"count\":96}],\"squashes\":0,\"squashed_instrs\":0,\"diverted\":1128,\"tasks_spawned\":96,\"max_live_tasks\":8,\"l1i_misses\":2,\"l1d_misses\":130,\"l2_misses\":113,\"stall_frontend\":553,\"stall_divert\":0,\"stall_sched\":68,\"stall_exec\":8156}" ]
+
+(* The loop-nest family (lib/workloads/loopnest.ml): one DOALL nest and
+   one far-carry nest, under the two tracker-backed policies. Recorded
+   when the family landed. *)
+let loopnest_cases =
+  [ ("doacross", Pf_core.Policy.Doacross, None);
+    ("adaptive", Pf_core.Policy.Adaptive, None) ]
+
+let loopnest_golden =
+  [ "loopnest.d0.unit.n1|doacross|{\"instructions\":4000,\"cycles\":1410,\"ipc\":2.8368794326241136,\"branch_mispredicts\":110,\"indirect_mispredicts\":0,\"return_mispredicts\":0,\"spawns\":[{\"category\":\"loop\",\"count\":49}],\"squashes\":0,\"squashed_instrs\":0,\"diverted\":115,\"tasks_spawned\":49,\"max_live_tasks\":8,\"l1i_misses\":4,\"l1d_misses\":18,\"l2_misses\":14,\"stall_frontend\":372,\"stall_divert\":0,\"stall_sched\":11,\"stall_exec\":417}";
+    "loopnest.d0.unit.n1|adaptive|{\"instructions\":4000,\"cycles\":1360,\"ipc\":2.9411764705882355,\"branch_mispredicts\":110,\"indirect_mispredicts\":0,\"return_mispredicts\":0,\"spawns\":[{\"category\":\"loop\",\"count\":49},{\"category\":\"hammock\",\"count\":5}],\"squashes\":0,\"squashed_instrs\":0,\"diverted\":152,\"tasks_spawned\":54,\"max_live_tasks\":8,\"l1i_misses\":4,\"l1d_misses\":18,\"l2_misses\":14,\"stall_frontend\":367,\"stall_divert\":0,\"stall_sched\":10,\"stall_exec\":383}";
+    "loopnest.d4.unit.n1|doacross|{\"instructions\":4000,\"cycles\":2393,\"ipc\":1.671541997492687,\"branch_mispredicts\":86,\"indirect_mispredicts\":0,\"return_mispredicts\":0,\"spawns\":[{\"category\":\"loop\",\"count\":5}],\"squashes\":2,\"squashed_instrs\":134,\"diverted\":123,\"tasks_spawned\":5,\"max_live_tasks\":5,\"l1i_misses\":6,\"l1d_misses\":13,\"l2_misses\":14,\"stall_frontend\":565,\"stall_divert\":0,\"stall_sched\":31,\"stall_exec\":765}";
+    "loopnest.d4.unit.n1|adaptive|{\"instructions\":4000,\"cycles\":1943,\"ipc\":2.058672156459084,\"branch_mispredicts\":86,\"indirect_mispredicts\":0,\"return_mispredicts\":0,\"spawns\":[{\"category\":\"loop\",\"count\":5},{\"category\":\"hammock\",\"count\":61}],\"squashes\":3,\"squashed_instrs\":201,\"diverted\":751,\"tasks_spawned\":66,\"max_live_tasks\":8,\"l1i_misses\":6,\"l1d_misses\":13,\"l2_misses\":14,\"stall_frontend\":484,\"stall_divert\":0,\"stall_sched\":13,\"stall_exec\":661}" ]
 
 let prepare name =
   let wl = Option.get (Pf_workloads.Suite.find name) in
@@ -80,7 +99,7 @@ let actual_line prep workload (label, policy, config) =
   Printf.sprintf "%s|%s|%s" workload label
     (Pf_report.Json.to_string (Pf_report.Codec.metrics_to_json metrics))
 
-let check_workload workload () =
+let check_against ~cases ~golden workload () =
   let prep = prepare workload in
   let prefix = workload ^ "|" in
   let expected =
@@ -101,9 +120,16 @@ let check_workload workload () =
         (actual_line prep workload case))
     cases expected
 
+let check_workload = check_against ~cases ~golden
+let check_loopnest = check_against ~cases:loopnest_cases ~golden:loopnest_golden
+
 let suite =
   [ ( "golden",
       [ Alcotest.test_case "gzip parity vs recorded goldens" `Quick
           (check_workload "gzip");
         Alcotest.test_case "mcf parity vs recorded goldens" `Quick
-          (check_workload "mcf") ] ) ]
+          (check_workload "mcf");
+        Alcotest.test_case "loopnest DOALL nest vs recorded goldens" `Quick
+          (check_loopnest "loopnest.d0.unit.n1");
+        Alcotest.test_case "loopnest far-carry nest vs recorded goldens" `Quick
+          (check_loopnest "loopnest.d4.unit.n1") ] ) ]

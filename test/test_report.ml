@@ -122,7 +122,9 @@ let test_config_roundtrip () =
         mem_sync_threshold = 3;
         safety_store_pct = 10;
         safety_branch_pct = 50;
-        safety_serial_ops = 4 } ];
+        safety_serial_ops = 4 };
+      Config.doacross;
+      { Config.doacross with Config.doacross_sync_distance = 4 } ];
   (* the tracker fields are additive: a default-valued config must
      serialize without them, so documents and run-cache digests written
      before the subsystem existed stay byte-identical *)
@@ -140,7 +142,8 @@ let test_config_roundtrip () =
         (f = "mem_tracker")
         (List.mem f (field_names (Codec.config_to_json Config.adaptive))))
     [ "mem_tracker"; "tracker_entries"; "mem_sync_threshold";
-      "safety_store_pct"; "safety_branch_pct"; "safety_serial_ops" ]
+      "safety_store_pct"; "safety_branch_pct"; "safety_serial_ops";
+      "doacross_sync_distance" ]
 
 let test_metrics_decode_is_strict () =
   let j = Codec.metrics_to_json (QCheck.Gen.generate1 (QCheck.gen arbitrary_metrics)) in
@@ -390,7 +393,11 @@ let test_cache_digest_sensitivity () =
               Config.safety_branch_pct = c.Config.safety_branch_pct + 1 } );
           ( "safety_serial_ops",
             { c with
-              Config.safety_serial_ops = c.Config.safety_serial_ops + 1 } ) ]
+              Config.safety_serial_ops = c.Config.safety_serial_ops + 1 } );
+          ( "doacross_sync_distance",
+            { c with
+              Config.doacross_sync_distance =
+                c.Config.doacross_sync_distance + 1 } ) ]
   in
   let seen = Hashtbl.create 64 in
   Hashtbl.add seen (d ()) "base";
@@ -470,7 +477,7 @@ let test_policy_of_string () =
       | Error e -> Alcotest.fail e)
     (Pf_core.Policy.(
        (No_spawn :: figure9_policies) @ figure10_policies @ figure11_policies
-       @ figure12_policies @ [ Dmt ]));
+       @ figure12_policies @ [ Dmt; Adaptive; Doacross ]));
   Alcotest.(check bool) "junk rejected" true
     (match Pf_core.Policy.of_string "frobnicate" with Error _ -> true | Ok _ -> false)
 

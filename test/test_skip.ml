@@ -30,6 +30,7 @@ let all_policies = Pf_fuzz.Oracle.all_policies
 let base_config = function
   | Policy.No_spawn -> Config.superscalar
   | Policy.Adaptive -> Config.adaptive
+  | Policy.Doacross -> Config.doacross
   | _ -> Config.polyflow
 
 type observed = {
@@ -88,7 +89,7 @@ let holds_for ~gen ~seed =
   let program =
     match gen with
     | `Mini ->
-        (Pf_fuzz.Gen_mini.generate ~seed |> Pf_mini.Compile.compile)
+        (Pf_fuzz.Gen_mini.generate ~seed () |> Pf_mini.Compile.compile)
           .Pf_mini.Compile.program
     | `Asm -> Pf_fuzz.Gen_asm.generate ~seed
   in

@@ -16,9 +16,17 @@ let find name = List.find (fun w -> w.Workload.name = name) all
 
 let test_names_unique () =
   let names = List.map (fun w -> w.Workload.name) all in
-  Alcotest.(check int) "twelve workloads" 12 (List.length names);
-  Alcotest.(check int) "unique names" 12
-    (List.length (List.sort_uniq compare names))
+  (* 12 SPEC-shaped kernels + 9 registered loop-nest family members *)
+  Alcotest.(check int) "twenty-one workloads" 21 (List.length names);
+  Alcotest.(check int) "unique names" 21
+    (List.length (List.sort_uniq compare names));
+  Alcotest.(check int) "twelve SPEC kernels" 12 (List.length Suite.spec_names);
+  List.iter
+    (fun n ->
+      Alcotest.(check bool)
+        (Printf.sprintf "spec kernel %s registered" n)
+        true (List.mem n names))
+    Suite.spec_names
 
 let test_every_workload_runs_long_enough () =
   List.iter
@@ -302,6 +310,88 @@ let test_engine_below_oracle_limit () =
           Pf_core.Policy.Rec_pred ])
     all
 
+(* ------------------------------------------------------------------ *)
+(* The loop-nest family: every constructor parameter must yield a      *)
+(* distinct workload. The run cache keys its digest on the workload    *)
+(* name, so parameter-distinct names are what keeps a distance-4 nest  *)
+(* from replaying a distance-0 nest's cached run.                      *)
+
+let loopnest_combos =
+  List.concat_map
+    (fun distance ->
+      List.concat_map
+        (fun stride ->
+          List.map (fun depth -> (distance, stride, depth)) [ 1; 2; 3 ])
+        [ Loopnest.Unit; Loopnest.Strided; Loopnest.Indirect ])
+    Loopnest.distances
+
+let test_loopnest_names_key_every_parameter () =
+  let names =
+    List.map
+      (fun (distance, stride, depth) -> Loopnest.name ~distance ~stride ~depth)
+      loopnest_combos
+  in
+  Alcotest.(check int) "every distance/stride/depth combination named"
+    (List.length loopnest_combos)
+    (List.length (List.sort_uniq compare names));
+  List.iter
+    (fun s ->
+      Alcotest.(check bool)
+        ("stride name round trip: " ^ Loopnest.stride_name s)
+        true
+        (Loopnest.stride_of_name (Loopnest.stride_name s) = Some s))
+    [ Loopnest.Unit; Loopnest.Strided; Loopnest.Indirect ]
+
+let test_loopnest_programs_distinct () =
+  (* a parameter that changed the name must also change the generated
+     program: distance adds carried reads, stride rewrites the gather,
+     depth restructures the nest *)
+  let progs =
+    List.map
+      (fun (distance, stride, depth) ->
+        ( Loopnest.name ~distance ~stride ~depth,
+          Loopnest.program ~distance ~stride ~depth ))
+      loopnest_combos
+  in
+  List.iteri
+    (fun i (ni, pi) ->
+      List.iteri
+        (fun j (nj, pj) ->
+          if i < j then
+            Alcotest.(check bool)
+              (Printf.sprintf "%s and %s generate different programs" ni nj)
+              false (pi = pj))
+        progs)
+    progs
+
+let test_loopnest_rejects_bad_parameters () =
+  let rejects f =
+    match f () with exception Invalid_argument _ -> true | _ -> false
+  in
+  Alcotest.(check bool) "carry span beyond the warm prefix rejected" true
+    (rejects (fun () ->
+         Loopnest.program ~distance:9 ~stride:Loopnest.Unit ~depth:1));
+  Alcotest.(check bool) "negative carry span rejected" true
+    (rejects (fun () ->
+         Loopnest.program ~distance:(-1) ~stride:Loopnest.Unit ~depth:1));
+  Alcotest.(check bool) "depth 4 rejected" true
+    (rejects (fun () ->
+         Loopnest.program ~distance:1 ~stride:Loopnest.Unit ~depth:4))
+
+let test_loopnest_sweep_registered () =
+  List.iter
+    (fun n ->
+      Alcotest.(check bool)
+        (Printf.sprintf "sweep member %s registered in the suite" n)
+        true
+        (Suite.find n <> None))
+    Loopnest.sweep_names;
+  (* the distance sweep must cover a DOALL nest and a far carry *)
+  Alcotest.(check bool) "sweep starts at distance 0" true
+    (List.mem "loopnest.d0.unit.n1" Loopnest.sweep_names);
+  Alcotest.(check bool) "sweep reaches distance 8" true
+    (List.mem "loopnest.d8.unit.n1" Loopnest.sweep_names)
+
 let test_rng_determinism () =
   let a = Rng.create ~seed:42 and b = Rng.create ~seed:42 in
   for _ = 1 to 100 do
@@ -360,6 +450,12 @@ let suite =
         case "mcf result" test_mcf_oracle;
         case "bzip2 result" test_bzip2_oracle;
         case "twolf cost" test_twolf_oracle ] );
+    ( "workloads.loopnest",
+      [ case "names key every parameter" test_loopnest_names_key_every_parameter;
+        case "programs distinct across parameters"
+          test_loopnest_programs_distinct;
+        case "bad parameters rejected" test_loopnest_rejects_bad_parameters;
+        case "distance sweep registered" test_loopnest_sweep_registered ] );
     ( "workloads.rng",
       [ case "deterministic" test_rng_determinism;
         case "int bounds" test_rng_int_bounds;
