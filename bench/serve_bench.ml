@@ -19,8 +19,12 @@
    requests over 4 clients, cache-hit byte-identity against a direct
    Sweep.execute over the same cache, coalescing of concurrent
    identical requests, the malformed-request error paths, the stats and
-   ping ops, the HTTP shim, and a clean shutdown. Latency numbers go to
-   the artifact, not stdout, so the output is byte-deterministic. *)
+   ping ops, the HTTP shim, and a clean shutdown — then boots a second
+   daemon over the same base directory (persisted trace store, fresh
+   run cache) and checks its re-simulated replies match the first
+   boot's byte for byte while window prep hits the store. Latency
+   numbers go to the artifact, not stdout, so the output is
+   byte-deterministic. *)
 
 module Json = Pf_json.Json
 module Sweep = Pf_report.Sweep
@@ -218,18 +222,25 @@ let save path json =
 
 (* ---- in-process daemon (when --socket is not given) ---- *)
 
-let boot_in_process () =
+(* [dir] and [cache_sub] let the smoke boot a second daemon over the
+   same base directory (same persistent trace store) with a fresh run
+   cache. *)
+let boot_in_process ?dir ?(cache_sub = "cache") () =
   let dir =
-    Filename.concat
-      (Filename.get_temp_dir_name ())
-      (Printf.sprintf "pf_serve_bench_%d" (Unix.getpid ()))
+    match dir with
+    | Some d -> d
+    | None ->
+        Filename.concat
+          (Filename.get_temp_dir_name ())
+          (Printf.sprintf "pf_serve_bench_%d" (Unix.getpid ()))
   in
   (try Unix.mkdir dir 0o700 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
   let cfg =
     { (Pf_serve.Server.default_config ~socket_path:(Filename.concat dir "s.sock"))
       with
       jobs = !jobs;
-      cache_dir = Some (Filename.concat dir "cache");
+      cache_dir = Some (Filename.concat dir cache_sub);
+      trace_store_dir = Some (Filename.concat dir "tstore");
       http_port = Some 0;
       prewarm_windows = [ !window ] }
   in
@@ -421,6 +432,15 @@ let run_smoke () =
        >= List.length warm + List.length cold + Array.length co_replies
     && counter "malformed_requests" >= 2);
 
+  (* window preparation goes through the persistent trace store, and
+     its counters plus the prepare-time gauge are exposed in stats *)
+  let ts_stats = Json.member "trace_store" stats in
+  check "stats expose trace store and prepare gauge"
+    (Json.member_opt "prepare_ms" stats <> None
+    && Json.to_float (Json.member "prepare_ms" stats) >= 0.
+    && Json.to_int (Json.member "stores" ts_stats) > 0
+    && Json.to_int (Json.member "entries" ts_stats) > 0);
+
   (* ---- the batched lockstep path ----
      Hold the single worker on a long blocker request; three same-window
      cache-miss requests then pile up in the queue and the worker drains
@@ -541,6 +561,38 @@ let run_smoke () =
   close c;
   Pf_serve.Server.run server;
   check "socket unlinked after shutdown" (not (Sys.file_exists sock));
+
+  (* ---- second boot over the persisted trace store ----
+     A fresh daemon on the same base directory with an empty run cache:
+     every run request re-simulates (nothing cached), but window
+     preparation replays from the trace store the first boot persisted.
+     The results must be indistinguishable from the first boot's cold
+     pass — same metrics, same counters — with store hits recorded. *)
+  let server2, cfg2, _ = boot_in_process ~dir ~cache_sub:"cache2" () in
+  let c2 = connect cfg2.Pf_serve.Server.socket_path in
+  let cold2 = cold_phase c2 in
+  check "second boot cold pass fresh"
+    (List.for_all (fun (_, r, _) -> is_ok r && not (is_cached r)) cold2);
+  let member name j = Json.to_string (Json.member name j) in
+  check "second boot replies byte-identical to first boot"
+    (List.for_all
+       (fun (spec, r, _) ->
+         let reply_run = Json.member "run" r in
+         let first = Json.of_string (cold_bytes spec) in
+         member "metrics" reply_run = member "metrics" first
+         && member "counters" reply_run = member "counters" first)
+       cold2);
+  let stats2_reply = rpc c2 (Json.Obj [ ("op", Json.String "stats") ]) in
+  let stats2 = Json.member "stats" stats2_reply in
+  let ts2 = Json.member "trace_store" stats2 in
+  check "second boot hits the persisted trace store"
+    (Json.to_int (Json.member "hits" ts2) > 0
+    && Json.to_int (Json.member "hits" (Json.member "cache" stats2)) = 0);
+  let bye2 = rpc c2 (Json.Obj [ ("op", Json.String "shutdown") ]) in
+  check "second boot shutdown acknowledged" (is_ok bye2);
+  close c2;
+  Pf_serve.Server.run server2;
+
   rm_rf dir;
   Printf.printf "serve-bench smoke: %s\n"
     (if !failures = [] then "PASS" else "FAIL");

@@ -30,6 +30,7 @@ type run = {
 type prepared_window = {
   pw_workload : string;
   pw_window : int;
+  pw_prepare_s : float;
   prep : Run.prepared;
 }
 
@@ -149,6 +150,7 @@ type exec_stats = {
   simulated_runs : int;
   batched_runs : int;
   batch_count : int;
+  prepare_ms : float;
 }
 
 (* split [l] into consecutive chunks of at most [k] elements *)
@@ -161,7 +163,7 @@ let chunk k l =
   in
   go [] [] 0 l
 
-let execute ?progress ?cache ?(batch = 8) ?on_stats ~jobs specs =
+let execute ?progress ?cache ?trace_store ?(batch = 8) ?on_stats ~jobs specs =
   let specs = Array.of_list specs in
   let workload_of name =
     match Pf_workloads.Suite.find name with
@@ -289,12 +291,16 @@ let execute ?progress ?cache ?(batch = 8) ?on_stats ~jobs specs =
   let prepared =
     map_pool ?progress ~jobs ~offset:0 ~total
       (fun (name, wl, window) ->
+        let t0 = Unix.gettimeofday () in
+        let prep =
+          Run.prepare ?store:trace_store wl.Pf_workloads.Workload.program
+            ~setup:wl.Pf_workloads.Workload.setup
+            ~fast_forward:wl.Pf_workloads.Workload.fast_forward ~window
+        in
         { pw_workload = name;
           pw_window = window;
-          prep =
-            Run.prepare wl.Pf_workloads.Workload.program
-              ~setup:wl.Pf_workloads.Workload.setup
-              ~fast_forward:wl.Pf_workloads.Workload.fast_forward ~window })
+          pw_prepare_s = Unix.gettimeofday () -. t0;
+          prep })
       keys
   in
   let prep_index = Hashtbl.create 16 in
@@ -357,7 +363,12 @@ let execute ?progress ?cache ?(batch = 8) ?on_stats ~jobs specs =
         { cached_runs;
           simulated_runs = nspec - cached_runs;
           batched_runs;
-          batch_count }
+          batch_count;
+          prepare_ms =
+            1000.
+            *. Array.fold_left
+                 (fun a pw -> a +. pw.pw_prepare_s)
+                 0. prepared }
   | None -> ());
   let runs =
     Array.to_list

@@ -75,6 +75,7 @@ val run_of_json : Json.t -> run
 type prepared_window = {
   pw_workload : string;
   pw_window : int;
+  pw_prepare_s : float;  (** wall seconds {!Pf_uarch.Run.prepare} took *)
   prep : Pf_uarch.Run.prepared;
 }
 
@@ -88,6 +89,9 @@ type exec_stats = {
   simulated_runs : int;  (** actually simulated (batched + solo) *)
   batched_runs : int;    (** simulated as members of a batch of >= 2 *)
   batch_count : int;     (** number of those multi-member batches *)
+  prepare_ms : float;    (** total wall milliseconds spent preparing
+                             windows (summed across workers, so it can
+                             exceed the sweep's elapsed wall) *)
 }
 
 (** [execute ~jobs specs] runs every spec and returns the runs in spec
@@ -102,6 +106,12 @@ type exec_stats = {
     only the simulation — windows are still prepared, because the
     returned [prepared_window]s feed follow-on analyses. Invalid
     entries are reported on stderr and resimulated.
+
+    [trace_store] routes window preparation through the two-level
+    {!Pf_trace.Trace_store}: repeat preparations load the captured
+    window from disk (or restore an in-memory fast-forward checkpoint)
+    instead of re-interpreting the prefix. Results are byte-identical
+    with and without it.
 
     Cache misses sharing a (workload, window) are grouped, in first-use
     order, into lockstep batches of at most [batch] members (default 8;
@@ -118,6 +128,7 @@ type exec_stats = {
 val execute :
   ?progress:(done_:int -> total:int -> unit) ->
   ?cache:Run_cache.t ->
+  ?trace_store:Pf_trace.Trace_store.t ->
   ?batch:int ->
   ?on_stats:(exec_stats -> unit) ->
   jobs:int ->

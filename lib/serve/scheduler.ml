@@ -24,6 +24,7 @@
 module Json = Pf_json.Json
 module Sweep = Pf_report.Sweep
 module Run_cache = Pf_report.Run_cache
+module Trace_store = Pf_trace.Trace_store
 module Counters = Pf_obs.Counters
 
 type resolved = {
@@ -52,6 +53,7 @@ type prep_slot = Building | Ready of Pf_uarch.Run.prepared
 type t = {
   jobs : int;
   cache : Run_cache.t option;
+  trace_store : Trace_store.t option;
   counters : Counters.t;
   c_run_requests : Counters.counter;
   c_coalesced : Counters.counter;
@@ -67,6 +69,7 @@ type t = {
   preps : (string * int, prep_slot) Hashtbl.t;
   mutable stopping : bool;
   mutable workers : unit Domain.t list;
+  mutable prepare_s : float; (* wall seconds spent in prep builds *)
 }
 
 (* ---- request resolution ---- *)
@@ -153,8 +156,10 @@ let rec acquire_prep t (r : resolved) =
       Hashtbl.replace t.preps key Building;
       Mutex.unlock t.mutex;
       let wl = r.r_workload in
+      let t0 = Unix.gettimeofday () in
       match
-        Pf_uarch.Run.prepare wl.Pf_workloads.Workload.program
+        Pf_uarch.Run.prepare ?store:t.trace_store
+          wl.Pf_workloads.Workload.program
           ~setup:wl.Pf_workloads.Workload.setup
           ~fast_forward:wl.Pf_workloads.Workload.fast_forward
           ~window:r.r_window
@@ -163,6 +168,7 @@ let rec acquire_prep t (r : resolved) =
           Mutex.lock t.mutex;
           Hashtbl.replace t.preps key (Ready prep);
           Counters.incr t.c_prep_builds;
+          t.prepare_s <- t.prepare_s +. (Unix.gettimeofday () -. t0);
           Mutex.unlock t.mutex;
           prep
       | exception e ->
@@ -332,11 +338,12 @@ let worker_loop t prewarm_windows () =
   in
   loop ()
 
-let create ?cache ?(prewarm_windows = []) ~jobs ~counters () =
+let create ?cache ?trace_store ?(prewarm_windows = []) ~jobs ~counters () =
   if jobs < 1 then invalid_arg "Scheduler.create: jobs < 1";
   let t =
     { jobs;
       cache;
+      trace_store;
       counters;
       c_run_requests = Counters.make counters "run_requests";
       c_coalesced = Counters.make counters "coalesced_requests";
@@ -351,7 +358,8 @@ let create ?cache ?(prewarm_windows = []) ~jobs ~counters () =
       pending = Hashtbl.create 64;
       preps = Hashtbl.create 16;
       stopping = false;
-      workers = [] }
+      workers = [];
+      prepare_s = 0. }
   in
   t.workers <-
     List.init jobs (fun _ -> Domain.spawn (worker_loop t prewarm_windows));
@@ -457,11 +465,13 @@ let stats_fields t =
   let inflight = Hashtbl.length t.pending in
   let queued = Queue.length t.queue in
   let prepared = Hashtbl.length t.preps in
+  let prepare_ms = 1000. *. t.prepare_s in
   Mutex.unlock t.mutex;
   [ ("jobs", Json.Int t.jobs);
     ("inflight", Json.Int inflight);
     ("queued", Json.Int queued);
     ("prepared_windows", Json.Int prepared);
+    ("prepare_ms", Json.Float prepare_ms);
     ( "cache",
       match t.cache with
       | None -> Json.Null
@@ -475,6 +485,23 @@ let stats_fields t =
               ("misses", Json.Int s.Run_cache.misses);
               ("stores", Json.Int s.Run_cache.stores);
               ("evictions", Json.Int s.Run_cache.evictions) ] );
+    ( "trace_store",
+      match t.trace_store with
+      | None -> Json.Null
+      | Some ts ->
+          let s = Trace_store.stats ts in
+          Json.Obj
+            [ ("dir", Json.String (Trace_store.dir ts));
+              ("cap", Json.Int (Trace_store.cap ts));
+              ("entries", Json.Int s.Trace_store.entries);
+              ("hits", Json.Int s.Trace_store.hits);
+              ("misses", Json.Int s.Trace_store.misses);
+              ("stores", Json.Int s.Trace_store.stores);
+              ("evictions", Json.Int s.Trace_store.evictions);
+              ("bytes", Json.Int s.Trace_store.bytes);
+              ( "checkpoint_restores",
+                Json.Int s.Trace_store.checkpoint_restores );
+              ("checkpoints", Json.Int s.Trace_store.checkpoints) ] );
     ("counters", Counters.to_json t.counters) ]
 
 let shutdown t =

@@ -3,11 +3,10 @@ type t = {
   fast_forwarded : int;
 }
 
-let capture machine ~fast_forward ~window =
-  let skipped = Pf_isa.Machine.skip machine fast_forward in
-  (* the window size bounds the event count, so the buffer is allocated
-     once up front (sized lazily off the first event — Dyn.t has no
-     neutral element) instead of cons/rev/of_list'ing every record *)
+(* the window size bounds the event count, so the buffer is allocated
+   once up front (sized lazily off the first event — Dyn.t has no
+   neutral element) instead of cons/rev/of_list'ing every record *)
+let collector ~window =
   let buf = ref [||] in
   let count = ref 0 in
   let on_event ev =
@@ -24,10 +23,18 @@ let capture machine ~fast_forward ~window =
     !buf.(!count) <- d;
     incr count
   in
-  ignore (Pf_isa.Machine.run machine ~max_instrs:window ~on_event);
-  let dyns =
+  let finish () =
     if !count = Array.length !buf then !buf else Array.sub !buf 0 !count
   in
-  { dyns; fast_forwarded = skipped }
+  (on_event, finish)
+
+let capture_window machine ~window ~fast_forwarded =
+  let on_event, finish = collector ~window in
+  ignore (Pf_isa.Machine.run machine ~max_instrs:window ~on_event);
+  { dyns = finish (); fast_forwarded }
+
+let capture machine ~fast_forward ~window =
+  let skipped = Pf_isa.Machine.skip machine fast_forward in
+  capture_window machine ~window ~fast_forwarded:skipped
 
 let length t = Array.length t.dyns

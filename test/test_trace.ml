@@ -30,6 +30,41 @@ let capture ?(fast_forward = 0) ?(window = 1000) p =
   Depinfo.compute tr;
   tr
 
+(* The collector sizes its buffer off [window]; if the machine emits
+   more events than that (the defensive path — a caller running the
+   machine past the window budget), the buffer doubles without losing
+   or reordering records. *)
+let test_collector_growth () =
+  let event i =
+    { Machine.pc = 0x1000 + (4 * i);
+      instr = Instr.Nop;
+      next_pc = 0x1004 + (4 * i);
+      taken = false;
+      addr = -1 }
+  in
+  let feed ~window n =
+    let on_event, finish = Tracer.collector ~window in
+    for i = 0 to n - 1 do
+      on_event (event i)
+    done;
+    finish ()
+  in
+  (* 3 growth doublings past the declared window *)
+  let dyns = feed ~window:4 37 in
+  Alcotest.(check int) "all records kept" 37 (Array.length dyns);
+  Array.iteri
+    (fun i d ->
+      if d.Dyn.pc <> 0x1000 + (4 * i) then
+        Alcotest.failf "record %d out of order (pc %#x)" i d.Dyn.pc)
+    dyns;
+  (* window 0 still collects (sized off the first event) *)
+  Alcotest.(check int) "window 0 grows from 1" 9
+    (Array.length (feed ~window:0 9));
+  (* short runs truncate to the observed count *)
+  Alcotest.(check int) "short run truncated" 3
+    (Array.length (feed ~window:1000 3));
+  Alcotest.(check int) "empty run" 0 (Array.length (feed ~window:16 0))
+
 let test_capture_full_run () =
   let tr = capture (dep_program ()) in
   Alcotest.(check int) "six instructions" 6 (Tracer.length tr);
@@ -202,7 +237,8 @@ let test_limits_parallel_block () =
 
 let suite =
   [ ( "trace",
-      [ case "capture full run" test_capture_full_run;
+      [ case "collector buffer growth" test_collector_growth;
+        case "capture full run" test_capture_full_run;
         case "register producers" test_register_producers;
         case "memory producer" test_memory_producer;
         case "partial overlap" test_partial_overlap;
